@@ -1,0 +1,53 @@
+"""Ablation — die-grid resolution.
+
+DESIGN.md question: do the max-frequency decisions depend on the
+thermal grid resolution? The compact model's conservative rasterization
+should make the VFS decision stable from coarse grids up; this bench
+sweeps the grid and checks decision stability and the peak-temperature
+convergence trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.cooling import get_cooling
+from repro.core.freqopt import max_frequency
+from repro.power import get_chip
+from repro.stack import uniform_stack
+from repro.thermal import DEFAULT_PACKAGE, ThermalModel
+from repro.units import ghz
+
+GRIDS = (4, 8, 12, 16, 24)
+
+
+def run_grid_sweep():
+    chip = get_chip("high-frequency-cmp")
+    stack = uniform_stack(chip, 4)
+    water = get_cooling("water")
+    out = []
+    for g in GRIDS:
+        params = replace(DEFAULT_PACKAGE, die_grid=g)
+        model = ThermalModel(stack, water, params)
+        p = max_frequency(model)
+        out.append((g, p.f_ghz, model.max_temperature_c(ghz(3.6))))
+    return out
+
+
+def test_ablation_grid(benchmark, save_artifact):
+    rows = benchmark(run_grid_sweep)
+    save_artifact(
+        "ablation_grid",
+        "Ablation: die grid resolution (4-chip high-frequency CMP, "
+        "water)\n"
+        + format_table(["grid", "max freq GHz", "T@3.6GHz C"], rows,
+                       float_fmt="{:.2f}"))
+    freqs = [r[1] for r in rows]
+    temps = [r[2] for r in rows]
+    # VFS decision stable within one ladder step from 8x8 up.
+    assert max(freqs[1:]) - min(freqs[1:]) <= 0.2 + 1e-9
+    # Peak temperature converges: successive refinements change it less.
+    deltas = [abs(b - a) for a, b in zip(temps, temps[1:])]
+    assert deltas[-1] < deltas[0] + 1e-9
+    assert deltas[-1] < 1.0

@@ -1,0 +1,62 @@
+"""Ablation — factorized-LU reuse in the thermal solver.
+
+The frequency search solves the same conductance matrix at many VFS
+steps; the network caches its sparse LU factorization so each probe is
+a pair of triangular solves. This bench times a 13-step ladder sweep
+with the cached factorization against rebuilding the network per step,
+asserting the reuse actually pays (the design choice DESIGN.md calls
+out, and the optimization the HPC guides recommend).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cooling import get_cooling
+from repro.power import get_chip
+from repro.stack import uniform_stack
+from repro.thermal import ThermalModel, build_network, stack_power_maps
+
+
+def sweep_with_reuse():
+    chip = get_chip("high-frequency-cmp")
+    model = ThermalModel(uniform_stack(chip, 4), get_cooling("water"))
+    return [model.max_temperature_c(float(f))
+            for f in chip.ladder.frequencies()]
+
+
+def sweep_without_reuse():
+    chip = get_chip("high-frequency-cmp")
+    stack = uniform_stack(chip, 4)
+    water = get_cooling("water")
+    temps = []
+    for f in chip.ladder.frequencies():
+        net = build_network(stack, water)       # rebuilt every step
+        res = net.solve(stack_power_maps(stack, float(f)))
+        temps.append(res.max_over([f"die{i}" for i in range(4)]))
+    return temps
+
+
+def test_ablation_solver(benchmark, save_artifact):
+    reused = benchmark(sweep_with_reuse)
+
+    t0 = time.perf_counter()
+    rebuilt = sweep_without_reuse()
+    t_rebuild = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reused2 = sweep_with_reuse()
+    t_reuse = time.perf_counter() - t0
+
+    save_artifact(
+        "ablation_solver",
+        "Ablation: factorization reuse across the 13-step VFS ladder\n"
+        f"rebuild-per-step: {t_rebuild * 1e3:.1f} ms\n"
+        f"cached LU:        {t_reuse * 1e3:.1f} ms\n"
+        f"speedup:          {t_rebuild / t_reuse:.1f}x")
+
+    # Identical physics either way.
+    for a, b in zip(reused, rebuilt):
+        assert abs(a - b) < 1e-6
+    assert reused == reused2
+    # Reuse must win clearly.
+    assert t_reuse < t_rebuild

@@ -1,0 +1,58 @@
+"""Extension — leakage-temperature feedback vs the paper's one shot.
+
+The paper computes leakage once at the worst-case temperature and
+solves the thermal model with that power. Iterating the loop to its
+fixed point shows what that convention costs: operating points below
+the 80 C anchor actually leak *less* (the one-shot is conservative),
+occasionally unlocking one more VFS step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.feedback import max_frequency_with_feedback, solve_with_leakage_feedback
+from repro.core.freqopt import max_frequency
+from repro.thermal import model_for
+from repro.units import ghz
+
+CONFIGS = (
+    ("high-frequency-cmp", 4, "water"),
+    ("low-power-cmp", 6, "water_pipe"),
+    ("low-power-cmp", 8, "mineral_oil"),
+)
+
+
+def run_feedback_study():
+    rows = []
+    for chip, n, cool in CONFIGS:
+        model = model_for(chip, n, cool)
+        paper = max_frequency(model)
+        f_fb, res = max_frequency_with_feedback(model)
+        rows.append((f"{chip} x{n} {cool}", paper.f_ghz, f_fb / 1e9,
+                     res.feedback_penalty_c, res.iterations))
+    return rows
+
+
+def test_ext_feedback(benchmark, save_artifact):
+    rows = benchmark(run_feedback_study)
+    save_artifact(
+        "ext_feedback",
+        "Extension: leakage-temperature fixed point vs one-shot "
+        "worst-case leakage\n"
+        + format_table(["configuration", "one-shot GHz", "feedback GHz",
+                        "T shift C", "iterations"], rows,
+                       float_fmt="{:.1f}"))
+    for _, paper_ghz, fb_ghz, shift, its in rows:
+        # The one-shot convention is conservative below the anchor:
+        # feedback never *reduces* the feasible step here...
+        assert fb_ghz >= paper_ghz - 1e-9
+        # ...because these operating points run below 80 C, where the
+        # worst-case leakage anchor over-estimates the static power.
+        assert shift < 0
+        assert its < 30
+
+    # The convention is also safe: a zero-coefficient loop reproduces
+    # the one-shot answer exactly.
+    model = model_for("high-frequency-cmp", 4, "water")
+    res = solve_with_leakage_feedback(model, ghz(3.2), coeff_per_k=0.0)
+    assert abs(res.feedback_penalty_c) < 0.05

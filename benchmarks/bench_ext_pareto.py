@@ -1,0 +1,45 @@
+"""Extension — the throughput/wall-power Pareto frontier.
+
+Joins the paper's three argument axes (feasible clock, NPB throughput,
+facility PUE) into one design-space picture: which (cooling, stack
+height) designs are non-dominated on throughput vs wall power, and who
+owns the high-performance end of the frontier.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.pareto import evaluate_designs, frontier_share, pareto_frontier
+
+HEIGHTS = (1, 2, 4, 6, 8, 10, 12)
+
+
+def run_exploration():
+    points = evaluate_designs("high-frequency-cmp", HEIGHTS)
+    return points, pareto_frontier(points)
+
+
+def test_ext_pareto(benchmark, save_artifact):
+    points, frontier = benchmark(run_exploration)
+    rows = [[p.cooling, p.n_chips, p.f_ghz, p.throughput,
+             p.wall_power_w, p.efficiency * 1000] for p in frontier]
+    save_artifact(
+        "ext_pareto",
+        "Extension: Pareto frontier over (NPB throughput, wall power) "
+        "- high-frequency CMP designs\n"
+        + format_table(["cooling", "chips", "GHz", "throughput",
+                        "wall W", "thr/kW"], rows, float_fmt="{:.2f}")
+        + f"\nfrontier share: {frontier_share(points)}")
+
+    assert len(frontier) >= 3
+    # The top of the frontier is water-cooled, and water owns more
+    # frontier designs than any other option.
+    assert frontier[-1].cooling == "water"
+    share = frontier_share(points)
+    assert share.get("water", 0) == max(share.values())
+    # Every evaluated air design is dominated in throughput by some
+    # water design at equal-or-lower wall power at the frontier's top.
+    best_water = frontier[-1]
+    for p in points:
+        if p.cooling == "air":
+            assert best_water.throughput > p.throughput

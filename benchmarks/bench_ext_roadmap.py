@@ -1,0 +1,52 @@
+"""Extension — the IRDS trajectory (the paper's opening argument).
+
+The introduction motivates in-water cooling with the power-density
+trend ("425 Watts in a conventional CMP in 2033, IRDS"). This bench
+projects the high-frequency CMP along that trajectory and reports the
+last year each cooling option can still hold a 4-chip stack under
+80 C — making the intro's argument quantitative: the better the
+coolant, the more roadmap headroom.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.power import get_chip
+from repro.power.roadmap import feasibility_horizon, projected_power_w
+
+YEARS = (2019, 2021, 2023, 2025, 2027, 2029, 2031, 2033)
+COOLS = ("air", "water_pipe", "mineral_oil", "water")
+
+
+def run_roadmap():
+    chip = get_chip("high-frequency-cmp")
+    return {cool: feasibility_horizon(chip, 4, cool, years=YEARS)
+            for cool in COOLS}
+
+
+def test_ext_roadmap(benchmark, save_artifact):
+    horizons = benchmark(run_roadmap)
+    rows = []
+    for year in YEARS:
+        rows.append([year, f"{projected_power_w(year):.0f}"]
+                    + [horizons[c][year] if horizons[c][year] else None
+                       for c in COOLS])
+    save_artifact(
+        "ext_roadmap",
+        "Extension: IRDS power trajectory vs cooling feasibility "
+        "(4-chip high-frequency stack, GHz)\n"
+        + format_table(["year", "chip W"] + list(COOLS), rows,
+                       float_fmt="{:.1f}"))
+
+    def last_year(cool):
+        feasible = [y for y in YEARS if horizons[cool][y] > 0]
+        return max(feasible) if feasible else 2018
+
+    # Better coolant -> later collapse; water buys the most years.
+    assert (last_year("air") <= last_year("water_pipe")
+            <= last_year("mineral_oil") <= last_year("water"))
+    assert last_year("water") - last_year("air") >= 4
+    # Even water eventually loses the 4-chip stack before 2033 - the
+    # density wall the paper's future work (microchannels, layout
+    # optimization) responds to.
+    assert horizons["water"][2033] == 0.0

@@ -1,0 +1,56 @@
+"""Extension — thread scaling and total cost of ownership.
+
+Two side studies around the paper's configuration choices:
+
+* thread scaling of the NPB programs on the 6-chip CMP validates
+  one-thread-per-core (24 threads) as a sane operating point;
+* a 5-year per-node TCO joins the intro's coolant-cost claims with the
+  PUE model — water wins on energy, pays a coating premium up front.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.cooling.economics import coolant_cost_ranking, tco_comparison
+from repro.perfsim.scaling import thread_scaling
+from repro.units import ghz
+
+PROGRAMS = ("ep", "sp", "cg")
+
+
+def run_studies():
+    scaling = {name: thread_scaling(name, 6, ghz(1.6))
+               for name in PROGRAMS}
+    return scaling, tco_comparison(), coolant_cost_ranking()
+
+
+def test_ext_scaling_tco(benchmark, save_artifact):
+    scaling, tco, fills = benchmark(run_studies)
+    blocks = ["Extension: thread scaling at 1.6 GHz (6-chip CMP)"]
+    for name, pts in scaling.items():
+        rows = [[p.threads, p.speedup, p.efficiency] for p in pts]
+        blocks.append(f"{name}:\n" + format_table(
+            ["threads", "speedup", "efficiency"], rows))
+    tco_rows = [[n, t.capex_usd, t.energy_usd, t.total_usd]
+                for n, t in tco.items()]
+    blocks.append(
+        "5-year per-node TCO (250 W node):\n"
+        + format_table(["cooling", "capex $", "energy $", "total $"],
+                       tco_rows, float_fmt="{:.0f}"))
+    blocks.append(
+        "tank fill cost (1000 L):\n"
+        + format_table(["coolant", "USD"],
+                       [[k, v] for k, v in fills.items()],
+                       float_fmt="{:.0f}"))
+    save_artifact("ext_scaling_tco", "\n\n".join(blocks))
+
+    # 24 threads stay efficient for every studied program.
+    for pts in scaling.values():
+        assert pts[-1].efficiency > 0.85
+    # Intro's coolant-cost ordering.
+    assert fills["water"] < fills["mineral_oil"] < fills["fluorinert"]
+    # Water has the lowest lifetime energy bill (PUE), air the highest.
+    assert tco["water"].energy_usd == min(t.energy_usd
+                                          for t in tco.values())
+    assert tco["air"].energy_usd == max(t.energy_usd
+                                        for t in tco.values())

@@ -1,0 +1,39 @@
+"""Extension — robustness of the conclusions to the calibration.
+
+Monte-Carlo over the fitted package constants (log-uniform bands from
+docs/calibration.md) and score the survival rate of each qualitative
+conclusion. The paper's spine — coolant ordering, water's depth
+dominance, water beating oil — must survive essentially everywhere;
+the knife-edge water-pipe cliff is expected (and shown) to be the
+fragile anchor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, robustness_study
+
+
+def run_study():
+    return robustness_study(n_draws=25, seed=7)
+
+
+def test_ext_uncertainty(benchmark, save_artifact):
+    r = benchmark(run_study)
+    rows = [
+        ["coolant ordering at every height", r.ordering_rate],
+        ["water deepest / never beaten", r.water_deepest_rate],
+        ["water-pipe fails at 8 LP chips (cliff)", r.pipe_cliff_rate],
+        ["water >= oil at 8 chips (Fig. 11)",
+         r.water_beats_oil_npb_rate],
+    ]
+    save_artifact(
+        "ext_uncertainty",
+        f"Extension: conclusion survival over the calibration band "
+        f"({r.draws} draws)\n"
+        + format_table(["conclusion", "survival rate"], rows,
+                       float_fmt="{:.2f}"))
+    assert r.ordering_rate >= 0.9
+    assert r.water_deepest_rate >= 0.9
+    assert r.water_beats_oil_npb_rate >= 0.9
+    # The cliff is the least robust anchor, by design.
+    assert r.pipe_cliff_rate <= r.ordering_rate

@@ -1,0 +1,47 @@
+"""Figure 6 — relative power vs relative frequency for four CMPs.
+
+The paper validates its alpha-power VFS model against RAPL measurements
+of the Xeon E5-2667v4 and Phi 7250; we regenerate the four normalized
+curves (low-power CMP, high-frequency CMP, E5, Phi) from the model and
+from the emulated RAPL measurement and check they coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.power import RaplEmulator, chip_names, get_chip, model_profile
+
+
+def run_fig6():
+    out = {}
+    for name in ("low-power-cmp", "high-frequency-cmp", "xeon-e5-2667v4",
+                 "xeon-phi-7290"):
+        out[name] = model_profile(get_chip(name)).relative()
+    return out
+
+
+def test_fig06(benchmark, save_artifact):
+    curves = benchmark(run_fig6)
+    lines = ["Fig. 6: power vs operating frequency (both relative to max)"]
+    for name, (f_rel, p_rel) in curves.items():
+        rows = list(zip(np.round(f_rel, 3), np.round(p_rel, 3)))
+        lines.append(format_table([f"{name} f/fmax", "P/Pmax"], rows))
+    save_artifact("fig06_power_vs_freq", "\n".join(lines))
+
+    for name, (f_rel, p_rel) in curves.items():
+        # Normalized endpoints and convexity: P falls faster than f
+        # (the V^2 f effect the figure displays).
+        assert p_rel[-1] == 1.0 and f_rel[-1] == 1.0
+        assert np.all(np.diff(p_rel) > 0)
+        assert p_rel[0] < f_rel[0]
+
+    # The RAPL emulation agrees with the model curve within noise
+    # (the paper: "the above model leads to frequency/power values
+    # consistent with actual measurements").
+    chip = get_chip("xeon-e5-2667v4")
+    measured = RaplEmulator(chip, noise_sigma=0.02, seed=0).measure_profile()
+    f_m, p_m = measured.relative()
+    f_a, p_a = model_profile(chip).relative()
+    np.testing.assert_allclose(p_m, p_a, atol=0.08)

@@ -1,0 +1,30 @@
+"""Figure 7 — max frequency vs #chips, low-power CMP, five coolings.
+
+Shape criteria (paper Section 3.2): air supports ~4 chips, the water
+pipe 7 (and not 8), the immersion options go much deeper with water on
+top; everyone reaches the 2.0 GHz cap on a single chip.
+"""
+
+from __future__ import annotations
+
+from freq_figures import PAPER_COOLS, render_frequency_figure, run_figure
+
+CHIPS = tuple(range(1, 16))
+
+
+def test_fig07(benchmark, save_artifact):
+    series = benchmark(run_figure, "low-power-cmp", CHIPS)
+    save_artifact(
+        "fig07_lowpower_freq",
+        render_frequency_figure(
+            "Fig. 7: max frequency vs #chips, low-power CMP "
+            "(threshold 80 C)", series))
+    by = {s.cooling: s for s in series}
+    assert 4 <= by["air"].feasible_up_to() <= 5
+    assert by["water_pipe"].feasible_up_to() == 7
+    assert by["mineral_oil"].feasible_up_to() >= 8
+    assert by["water"].feasible_up_to() >= 10
+    for i in range(len(CHIPS)):
+        seq = [by[c].f_ghz[i] for c in PAPER_COOLS]
+        assert all(a <= b + 1e-9 for a, b in zip(seq, seq[1:]))
+    assert all(by[c].f_ghz[0] == 2.0 for c in PAPER_COOLS)

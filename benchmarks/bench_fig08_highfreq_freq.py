@@ -1,0 +1,33 @@
+"""Figure 8 — max frequency vs #chips, high-frequency CMP.
+
+Shape criteria: same coolant ordering as Fig. 7; additionally the
+paper's observation that the high-frequency CMP supports *more* chips
+than the low-power CMP at its lowest steps, because its broader VFS
+range includes a lower-power mode.
+"""
+
+from __future__ import annotations
+
+from freq_figures import PAPER_COOLS, render_frequency_figure, run_figure
+
+CHIPS = tuple(range(1, 16))
+
+
+def test_fig08(benchmark, save_artifact):
+    series = benchmark(run_figure, "high-frequency-cmp", CHIPS)
+    save_artifact(
+        "fig08_highfreq_freq",
+        render_frequency_figure(
+            "Fig. 8: max frequency vs #chips, high-frequency CMP "
+            "(threshold 80 C)", series))
+    by = {s.cooling: s for s in series}
+    for i in range(len(CHIPS)):
+        seq = [by[c].f_ghz[i] for c in PAPER_COOLS]
+        assert all(a <= b + 1e-9 for a, b in zip(seq, seq[1:]))
+    # Water reaches deep stacks; pipe supports the Fig. 13 8-chip config.
+    assert by["water"].feasible_up_to() >= 10
+    assert by["water_pipe"].f_ghz[CHIPS.index(8)] > 0
+    # Broader-VFS effect vs the low-power CMP.
+    from freq_figures import run_figure as rf
+    lp = {s.cooling: s for s in rf("low-power-cmp", CHIPS, ("air",))}
+    assert by["air"].feasible_up_to() >= lp["air"].feasible_up_to()

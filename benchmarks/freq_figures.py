@@ -1,0 +1,33 @@
+"""Shared rendering for the frequency-vs-chips figures (1, 7, 8, 17)."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.sweeps import FrequencySeries, frequency_vs_chips
+
+PAPER_COOLS = ("air", "water_pipe", "mineral_oil", "fluorinert", "water")
+
+
+def render_frequency_figure(title: str,
+                            series: tuple[FrequencySeries, ...]) -> str:
+    """One row per chip count, one column per cooling option (GHz),
+    followed by the figure's ASCII plot."""
+    from repro.analysis.charts import chart_frequency_series
+    chips = series[0].chips
+    headers = ["chips"] + [s.cooling for s in series]
+    rows = []
+    for i, n in enumerate(chips):
+        row: list[object] = [n]
+        for s in series:
+            row.append(s.f_ghz[i] if s.f_ghz[i] > 0 else None)
+        rows.append(row)
+    table = format_table(headers, rows, float_fmt="{:.1f}")
+    return f"{title}\n{table}\n\n" + chart_frequency_series(series)
+
+
+def run_figure(chip_name: str, chips: tuple[int, ...],
+               coolings: tuple[str, ...] = PAPER_COOLS,
+               threshold_c: float | None = None):
+    """Compute the figure's series (the timed kernel of those benches)."""
+    return frequency_vs_chips(chip_name, chips, coolings,
+                              threshold_c=threshold_c)

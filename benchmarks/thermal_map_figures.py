@@ -1,0 +1,29 @@
+"""Shared rendering for the thermal-map figures (9, 16, 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sweeps import thermal_maps
+from repro.thermal.maps import MapStats, ascii_map
+
+
+def render_map_figure(title: str, maps: dict[str, np.ndarray]) -> str:
+    """Per-layer ASCII maps plus statistics (the paper's four panels)."""
+    lines = [title]
+    for i, (name, field) in enumerate(maps.items()):
+        s = MapStats.from_field(name, field)
+        label = "bottom" if i == 0 else ("top" if i == len(maps) - 1
+                                         else f"layer {i + 1}")
+        lines.append(
+            f"-- {name} ({label}): min {s.min_c:.1f} C, "
+            f"max {s.max_c:.1f} C, spread {s.spread_c:.1f} C "
+            f"(per-panel scale, like the paper)")
+        lines.append(ascii_map(field))
+    return "\n".join(lines)
+
+
+def compute_maps(chip: str, cooling: str, f_hz: float, *,
+                 flipped: bool = False):
+    """The timed kernel for the map benches."""
+    return thermal_maps(chip, cooling, f_hz, flipped=flipped)

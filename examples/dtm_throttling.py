@@ -1,0 +1,63 @@
+"""DTM study: reactive throttling vs the paper's worst-case design.
+
+The paper picks one frequency per (stack, coolant) that is safe in the
+steady worst case. A dynamic thermal manager instead starts fast and
+throttles when the junction approaches the limit, exploiting the
+package's thermal inertia. This example runs the reactive controller on
+a water-pipe-cooled and a water-immersed 4-chip stack, prints the
+throttle traces, and shows how much average clock DTM recovers — and
+why water immersion leaves it nothing to recover.
+
+Run:  python examples/dtm_throttling.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.cooling import get_cooling
+from repro.core.dtm import DtmController, DtmPolicy
+from repro.core.freqopt import max_frequency
+from repro.power import get_chip
+from repro.stack import uniform_stack
+from repro.thermal import ThermalModel
+
+DURATION_S = 40.0
+
+
+def main() -> None:
+    chip = get_chip("low-power-cmp")
+    policy = DtmPolicy(trip_c=80.0, hysteresis_c=2.0,
+                       control_period_s=0.05)
+    print(f"Reactive DTM ({policy.trip_c:.0f} C trip, "
+          f"{policy.control_period_s * 1000:.0f} ms period) on 4-chip "
+          f"low-power stacks, {DURATION_S:.0f} s window\n")
+
+    rows = []
+    for cooling in ("water_pipe", "mineral_oil", "water"):
+        model = ThermalModel(uniform_stack(chip, 4), get_cooling(cooling))
+        static = max_frequency(model)
+        trace = DtmController(model, policy).run(DURATION_S)
+        rows.append([
+            cooling,
+            f"{static.f_ghz:.1f}",
+            f"{trace.mean_frequency_hz / 1e9:.2f}",
+            f"{100 * (trace.mean_frequency_hz / static.f_hz - 1):+.0f}%",
+            f"{trace.peak_c:.1f}",
+            f"{100 * trace.duty_at_max(chip.ladder.f_max_hz):.0f}%",
+        ])
+    print(format_table(
+        ["cooling", "static GHz", "DTM mean GHz", "DTM vs static",
+         "peak C", "time at 2.0 GHz"], rows))
+
+    print(
+        "\nReading: the water pipe gains real performance from DTM -\n"
+        "its static pick is limited by the *eventual* steady state,\n"
+        "while the package takes seconds to heat. Water immersion is\n"
+        "already at the VFS cap, so DTM has nothing left to recover:\n"
+        "better cooling converts a control problem into headroom,\n"
+        "which is the paper's thesis seen from the runtime side."
+    )
+
+
+if __name__ == "__main__":
+    main()

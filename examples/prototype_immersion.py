@@ -1,0 +1,76 @@
+"""Prototype study: converting a server for in-water operation.
+
+Walks the Section 2 engineering path: verify the coating spec, predict
+the Fig. 4 temperatures for the three cooling options, check which
+components must stay above the waterline, and estimate the board's
+service life — including what happens if you skip the masking step or
+cheap out on film thickness.
+
+Run:  python examples/prototype_immersion.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.errors import ConfigurationError
+from repro.prototype import (
+    SCENARIOS,
+    CoatingSpec,
+    PrototypeBoardModel,
+    fully_coated_board,
+    masked_board,
+    recommended_above_water,
+    recommended_coating,
+)
+
+
+def main() -> None:
+    print("Converting a PRIMERGY TX1320 M2 for in-water operation\n")
+
+    # 1. Film selection: the paper's 50 um lesson.
+    for t_um in (50.0, 120.0):
+        spec = CoatingSpec(thickness_m=t_um * 1e-6)
+        try:
+            spec.validate_for_immersion()
+            verdict = "OK (validated by the 2-year campaign)"
+        except ConfigurationError as exc:
+            verdict = f"REJECTED - {exc}"
+        print(f"  {t_um:5.0f} um parylene: {verdict}")
+
+    # 2. Expected thermals per cooling option (Fig. 4).
+    model = PrototypeBoardModel()
+    print("\nPredicted CPU temperature under stress:")
+    rows = [[s, model.junction_c(s)] for s in SCENARIOS]
+    print(format_table(["cooling option", "junction C"], rows,
+                       float_fmt="{:.1f}"))
+    print(f"  full immersion saves {model.immersion_gain_c():.0f} C "
+          f"over the fan (the paper's headline 20 C)")
+
+    # 3. Mechanical layout: what stays above the surface.
+    print("\nKeep above the waterline (mask during CVD):")
+    for name in recommended_above_water():
+        print(f"  - {name}")
+
+    # 4. Lifetime with and without following the recommendation.
+    masked = masked_board()
+    naive = fully_coated_board()
+    print("\nPredicted board lifetime:")
+    print(format_table(
+        ["configuration", "median years", "P(alive at 2y)"],
+        [["recommended (masked)", masked.median_life_years(),
+          masked.survival(2.0)],
+         ["everything submerged", naive.median_life_years(),
+          naive.survival(2.0)]]))
+    print("\nSubmerging the PCIe/RJ45/memory connectors costs most of "
+          "the board's life -")
+    print("exactly the Section 2.2 finding the masking recipe responds "
+          "to.")
+
+    spec = recommended_coating()
+    print(f"\nFinal recipe: {spec.thickness_m * 1e6:.0f} um "
+          f"{spec.material.name}, {len(spec.masked_regions)} masked "
+          f"regions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: the paper's core question in a few calls.
+
+Given a 3-D stack and a cooling option, what is the highest clock the
+80 C limit allows — and what does that buy on real workloads?
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import quick_max_frequency
+from repro.analysis import format_table
+from repro.core.cosim import run_npb_comparison
+
+
+def main() -> None:
+    print("=" * 68)
+    print("Water-immersion computer boards - quickstart")
+    print("=" * 68)
+
+    # 1. Max frequency of a 4-chip high-frequency stack per coolant.
+    print("\n1) Max clock of a 4-chip high-frequency CMP stack (80 C):\n")
+    rows = []
+    for cooling in ("air", "water_pipe", "mineral_oil", "water"):
+        p = quick_max_frequency("high-frequency-cmp", 4, cooling)
+        rows.append([cooling,
+                     f"{p.f_ghz:.1f} GHz" if p.feasible else "infeasible",
+                     f"{p.max_temp_c:.1f} C",
+                     f"{p.total_power_w:.0f} W" if p.feasible else "-"])
+    print(format_table(["cooling", "max clock", "hottest cell",
+                        "stack power"], rows))
+
+    # 2. The Section 4.2 trick: rotate alternate dies.
+    plain = quick_max_frequency("high-frequency-cmp", 4, "water")
+    flip = quick_max_frequency("high-frequency-cmp", 4, "water",
+                               flip=True)
+    print(f"\n2) Chip rotation (flip): {plain.f_ghz:.1f} GHz -> "
+          f"{flip.f_ghz:.1f} GHz under water")
+
+    # 3. What the clock advantage means for the NAS Parallel Benchmarks.
+    print("\n3) NPB execution time, water vs water pipe "
+          "(6-chip low-power CMP, 24 threads):\n")
+    cmp_ = run_npb_comparison("low-power-cmp", 6, reference="water_pipe")
+    rel = cmp_.relative_times("water")
+    print(format_table(
+        ["benchmark", "T(water)/T(pipe)"],
+        [[k.upper(), v] for k, v in rel.items()]))
+    print(f"\naverage reduction: "
+          f"{100 * (1 - cmp_.average_relative('water')):.1f}% "
+          f"(paper: up to 14% on average)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Regenerate every figure/table artifact without pytest.
+
+Usage: python scripts/run_all_figures.py [output_dir]
+
+Runs the same generators the bench harness uses and writes the text
+artifacts (tables + ASCII charts/maps) to the output directory
+(default: figures_out/). Handy for environments without
+pytest-benchmark, and for diffing artifacts across model changes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "figures_out")
+    out_dir.mkdir(exist_ok=True)
+
+    from repro.analysis import format_mapping, format_table
+    from repro.analysis.charts import chart_frequency_series
+    from repro.core.cosim import headline_summary, run_npb_comparison
+    from repro.core.sweeps import (
+        frequency_vs_chips,
+        temperature_vs_frequency,
+        temperature_vs_h,
+        thermal_maps,
+    )
+    from repro.cooling import pue_comparison
+    from repro.perfsim.npb import NPB_ORDER
+    from repro.prototype import SCENARIOS, PrototypeBoardModel
+    from repro.thermal.maps import MapStats, ascii_map
+    from repro.units import ghz
+
+    def save(name: str, text: str) -> None:
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"wrote {path}")
+
+    cools = ("air", "water_pipe", "mineral_oil", "fluorinert", "water")
+
+    # Frequency figures (1, 7, 8, 17).
+    for name, chip, chips in (
+        ("fig01", "xeon-e5-2667v4", (1, 2, 3, 4)),
+        ("fig07", "low-power-cmp", tuple(range(1, 16))),
+        ("fig08", "high-frequency-cmp", tuple(range(1, 16))),
+        ("fig17", "xeon-phi-7290", (1, 2, 3, 4)),
+    ):
+        series = frequency_vs_chips(chip, chips, cools)
+        save(name, chart_frequency_series(
+            series, title=f"{name}: {chip} max frequency vs #chips"))
+
+    # Fig. 4.
+    temps = PrototypeBoardModel().figure4()
+    save("fig04", format_table(
+        ["scenario", "junction C"],
+        [[s, temps[s]] for s in SCENARIOS], float_fmt="{:.1f}"))
+
+    # Thermal maps (9, 16, 18).
+    for name, chip, f, flip in (
+        ("fig09", "high-frequency-cmp", 3.6, False),
+        ("fig16", "high-frequency-cmp", 3.6, True),
+        ("fig18", "xeon-phi-7290", 1.2, False),
+    ):
+        maps = thermal_maps(chip, "water", ghz(f), flipped=flip)
+        parts = []
+        for layer, field in maps.items():
+            s = MapStats.from_field(layer, field)
+            parts.append(f"-- {layer}: {s.min_c:.1f}..{s.max_c:.1f} C")
+            parts.append(ascii_map(field))
+        save(name, "\n".join(parts))
+
+    # NPB figures (10-13).
+    for name, chip, n, ref in (
+        ("fig10", "low-power-cmp", 6, "water_pipe"),
+        ("fig11", "low-power-cmp", 8, "mineral_oil"),
+        ("fig12", "high-frequency-cmp", 6, "water_pipe"),
+        ("fig13", "high-frequency-cmp", 8, "water_pipe"),
+    ):
+        cmp_ = run_npb_comparison(chip, n, reference=ref)
+        feasible = [o.cooling for o in cmp_.outcomes if o.feasible]
+        rel = {c: cmp_.relative_times(c) for c in feasible}
+        rows = [[b.upper()] + [rel[c][b] for c in feasible]
+                for b in NPB_ORDER]
+        save(name, format_table(["benchmark"] + feasible, rows))
+
+    # Fig. 14 and Fig. 15.
+    hs = (14.0, 60.0, 160.0, 180.0, 400.0, 800.0, 1600.0)
+    rows = []
+    for chip in ("low-power-cmp", "high-frequency-cmp",
+                 "xeon-e5-2667v4", "xeon-phi-7290"):
+        s = temperature_vs_h(chip, hs)
+        rows.append([chip] + list(s.max_temp_c))
+    save("fig14", format_table(["chip"] + [f"h={h:g}" for h in hs],
+                               rows, float_fmt="{:.0f}"))
+
+    f15 = {}
+    for cooling in ("air", "water"):
+        for flip in (False, True):
+            key = f"{cooling}{'_flip' if flip else ''}"
+            f15[key] = temperature_vs_frequency(
+                "high-frequency-cmp", cooling, flipped=flip)
+    rows = []
+    for i, f in enumerate(f15["water"].f_ghz):
+        rows.append([f] + [f15[k].max_temp_c[i] for k in f15])
+    save("fig15", format_table(["GHz"] + list(f15), rows,
+                               float_fmt="{:.1f}"))
+
+    # Headline + PUE.
+    save("headline", format_mapping("headline", headline_summary()))
+    save("pue", format_mapping("PUE", pue_comparison()))
+    print("\nall artifacts regenerated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""ASCII line charts for the bench artifacts.
+
+The paper's figures are line plots; the bench harness regenerates their
+*data* as tables. This module adds a terminal-friendly plot so the
+saved artifacts also carry the figures' visual shape — feasibility
+cliffs, crossovers, hockey sticks — at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..errors import ConfigurationError
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(series: dict[str, tuple[Sequence[float], Sequence[float]]],
+                *, width: int = 64, height: int = 18,
+                x_label: str = "x", y_label: str = "y",
+                y_min: float | None = None,
+                y_max: float | None = None) -> str:
+    """Plot named (xs, ys) series on one ASCII canvas.
+
+    Points with non-finite y are skipped (how the figures omit
+    infeasible configurations). Each series gets its own marker;
+    collisions show the later series' marker.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError("canvas too small")
+    xs_all = [float(x) for xs, ys in series.values()
+              for x, y in zip(xs, ys) if math.isfinite(float(y))]
+    ys_all = [float(y) for xs, ys in series.values()
+              for x, y in zip(xs, ys) if math.isfinite(float(y))]
+    if not xs_all:
+        raise ConfigurationError("no finite points to plot")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo = min(ys_all) if y_min is None else y_min
+    y_hi = max(ys_all) if y_max is None else y_max
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            y = float(y)
+            if not math.isfinite(y) or y < y_lo or y > y_hi:
+                continue
+            col = round((float(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_hi:>10.3g} +" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append(" " * 10 + " |" + "".join(grid[r]))
+    lines.append(f"{y_lo:>10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<.3g}".ljust(width - 8)
+                 + f"{x_hi:>.3g}")
+    lines.append(" " * 12 + f"x: {x_label}   y: {y_label}")
+    lines.append(" " * 12 + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_frequency_series(series, *, title: str = "") -> str:
+    """Chart a tuple of FrequencySeries (Figs. 1/7/8/17 shape)."""
+    data = {}
+    for s in series:
+        xs, ys = [], []
+        for n, f in zip(s.chips, s.f_ghz):
+            if f > 0:
+                xs.append(float(n))
+                ys.append(float(f))
+        if xs:
+            data[s.cooling] = (xs, ys)
+    body = ascii_chart(data, x_label="# chips", y_label="GHz")
+    return f"{title}\n{body}" if title else body

@@ -1,0 +1,166 @@
+"""Programmatic paper-vs-measured report (EXPERIMENTS.md's engine).
+
+:func:`full_report` re-runs every experiment at the calibrated defaults
+and emits :class:`~repro.analysis.validate.ValidationReport` records —
+one per table/figure — so the documented comparison can be regenerated
+from scratch (``python scripts/make_report.py``) after any model change.
+"""
+
+from __future__ import annotations
+
+from ..datasets import paper
+from ..units import ghz
+from .validate import Check, ValidationReport
+
+
+def _fig4_report() -> ValidationReport:
+    from ..prototype import PrototypeBoardModel
+    model = PrototypeBoardModel()
+    rep = ValidationReport("Fig. 4 - prototype temperatures")
+    temps = model.figure4()
+    for scenario, value in paper.FIG4_TEMPERATURES_C.items():
+        rep.add(Check.quantitative(scenario, value, temps[scenario],
+                                   tolerance=1.0, note="Celsius"))
+    rep.add(Check.quantitative("immersion gain",
+                               paper.ABSTRACT_IMMERSION_GAIN_C,
+                               model.immersion_gain_c(), tolerance=1.0,
+                               note="air minus full immersion"))
+    return rep
+
+
+def _feasibility_report() -> ValidationReport:
+    from ..core.sweeps import frequency_vs_chips
+    cools = ("air", "water_pipe", "mineral_oil", "fluorinert", "water")
+    rep = ValidationReport("Figs. 7/8 - chip-count limits")
+    lp = {s.cooling: s for s in frequency_vs_chips(
+        "low-power-cmp", tuple(range(1, 16)), cools)}
+    rep.add(Check.quantitative(
+        "LP air max chips", paper.LOW_POWER_MAX_CHIPS["air"],
+        lp["air"].feasible_up_to(), tolerance=1.0))
+    rep.add(Check.quantitative(
+        "LP water-pipe max chips", paper.LOW_POWER_MAX_CHIPS["water_pipe"],
+        lp["water_pipe"].feasible_up_to(), tolerance=0.0))
+    rep.add(Check.qualitative(
+        "LP pipe infeasible at 8 (Fig. 11 premise)",
+        measured=lp["water_pipe"].f_ghz[7],
+        passed=lp["water_pipe"].f_ghz[7] == 0.0))
+    rep.add(Check.qualitative(
+        "LP oil supports 8", measured=lp["mineral_oil"].f_ghz[7],
+        passed=lp["mineral_oil"].f_ghz[7] > 0))
+    rep.add(Check.qualitative(
+        "water deepest", measured=lp["water"].feasible_up_to(),
+        passed=lp["water"].feasible_up_to()
+        >= max(lp[c].feasible_up_to() for c in cools)))
+    ordering_ok = True
+    for i in range(15):
+        seq = [lp[c].f_ghz[i] for c in cools]
+        if any(a > b + 1e-9 for a, b in zip(seq, seq[1:])):
+            ordering_ok = False
+    rep.add(Check.qualitative("coolant ordering at every height",
+                              measured=float(ordering_ok),
+                              passed=ordering_ok))
+    return rep
+
+
+def _npb_report() -> ValidationReport:
+    from ..core.cosim import run_npb_comparison
+    rep = ValidationReport("Figs. 10-13 - NPB execution times")
+    lp6 = run_npb_comparison("low-power-cmp", 6, reference="water_pipe")
+    rep.add(Check.qualitative(
+        "Fig. 10 water fastest on every program",
+        measured=max(lp6.relative_times("water").values()),
+        passed=max(lp6.relative_times("water").values()) < 1.0))
+    lp8 = run_npb_comparison("low-power-cmp", 8, reference="mineral_oil")
+    rep.add(Check.qualitative(
+        "Fig. 11 water-pipe infeasible at 8-chip LP",
+        measured=float(not lp8.outcome("water_pipe").feasible),
+        passed=not lp8.outcome("water_pipe").feasible))
+    rep.add(Check.quantitative(
+        "Fig. 11 water vs oil average reduction",
+        paper.HEADLINE_VS_MINERAL_OIL,
+        1.0 - lp8.average_relative("water"), tolerance=0.03))
+    hf6 = run_npb_comparison("high-frequency-cmp", 6,
+                             reference="water_pipe")
+    gain6 = 1.0 - hf6.average_relative("water")
+    rep.add(Check.quantitative(
+        "Fig. 12 water vs pipe average reduction (paper <= 0.14)",
+        paper.HEADLINE_VS_WATER_PIPE, gain6, tolerance=0.08))
+    return rep
+
+
+def _rotation_report() -> ValidationReport:
+    from ..core.sweeps import rotation_gain_c
+    import repro
+    rep = ValidationReport("Figs. 15/16 - chip rotation")
+    gain = rotation_gain_c("high-frequency-cmp", "water", ghz(3.6))
+    rep.add(Check.quantitative("flip gain at 3.6 GHz (water)",
+                               paper.FLIP_GAIN_AT_36GHZ_C, gain,
+                               tolerance=5.0, note="Celsius"))
+    flip = repro.quick_max_frequency("high-frequency-cmp", 4, "water",
+                                     flip=True)
+    rep.add(Check.quantitative("flip enables (GHz)",
+                               paper.FLIP_ENABLES_WATER_GHZ, flip.f_ghz,
+                               tolerance=0.21))
+    return rep
+
+
+def _facility_report() -> ValidationReport:
+    from ..cooling import NATURAL_WATER_DIRECT, pue_comparison
+    rep = ValidationReport("Section 4.4 - PUE")
+    pues = pue_comparison()
+    rep.add(Check.quantitative("natural-water PUE",
+                               paper.NATURAL_WATER_PUE,
+                               pues[NATURAL_WATER_DIRECT.name],
+                               tolerance=0.01))
+    rep.add(Check.quantitative(
+        "oil-immersion PUE",
+        paper.OIL_IMMERSION_PUE_REPORTED,
+        pues["oil immersion (tanks + secondary water loop)"],
+        tolerance=0.08))
+    return rep
+
+
+def _reliability_report() -> ValidationReport:
+    from ..prototype import (
+        CAMPAIGN_YEARS,
+        NUM_TEST_BOARDS,
+        TEST_BOARD_COMPONENTS,
+        fitted_lifetimes,
+        masked_board,
+    )
+    rep = ValidationReport("Section 2.2 - reliability campaign")
+    lives = fitted_lifetimes()
+    for c in TEST_BOARD_COMPONENTS:
+        exposed = NUM_TEST_BOARDS * c.per_board
+        expected = exposed * lives[c.name].failure_probability(
+            CAMPAIGN_YEARS)
+        rep.add(Check.quantitative(
+            f"{c.name} failures over campaign",
+            float(c.observed_failures), expected, tolerance=1.0))
+    years = masked_board().median_life_years()
+    rep.add(Check.qualitative(
+        "masked board >= 'a couple of years'", measured=years,
+        passed=years >= 2.0))
+    return rep
+
+
+def full_report() -> list[ValidationReport]:
+    """Run every validation section (minutes of compute)."""
+    return [
+        _fig4_report(),
+        _feasibility_report(),
+        _npb_report(),
+        _rotation_report(),
+        _facility_report(),
+        _reliability_report(),
+    ]
+
+
+def render_full_report() -> str:
+    """The whole paper-vs-measured report as text."""
+    reports = full_report()
+    total = sum(r.total for r in reports)
+    passed = sum(r.passed for r in reports)
+    body = "\n\n".join(r.render() for r in reports)
+    return (f"paper-vs-measured validation: {passed}/{total} checks\n\n"
+            + body)

@@ -1,0 +1,53 @@
+"""Plain-text rendering of result series.
+
+The benchmark harness prints each figure's data as an aligned text
+table (and ASCII art for the thermal maps); these helpers keep the
+formatting consistent across the twenty-odd benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 *, float_fmt: str = "{:.3f}") -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; None renders as "--" (how
+    the paper's figures omit infeasible points).
+    """
+    def cell(v: object) -> str:
+        if v is None:
+            return "--"
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_series(label: str, xs: Sequence[object],
+                  ys: Sequence[object], *, x_name: str = "x",
+                  y_name: str = "y") -> str:
+    """Render one (x, y) series with a label line."""
+    body = format_table([x_name, y_name], list(zip(xs, ys)))
+    return f"{label}\n{body}"
+
+
+def format_mapping(title: str, mapping: Mapping[str, object],
+                   *, float_fmt: str = "{:.3f}") -> str:
+    """Render a {name: value} mapping as a two-column table."""
+    return (f"{title}\n"
+            + format_table(["key", "value"], list(mapping.items()),
+                           float_fmt=float_fmt))

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``freq`` — the core question: max clock of a stack under a cooling
+  option (optionally with the flip schedule).
+* ``sweep`` — a Figs. 1/7/8/17-style table for one chip.
+* ``npb`` — a Figs. 10-13-style relative-execution-time table.
+* ``maps`` — ASCII thermal maps (Figs. 9/16/18).
+* ``pue`` — the Section 4.4 facility comparison.
+* ``headline`` — the abstract's numbers, end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_mapping, format_table
+
+
+def _cmd_freq(args: argparse.Namespace) -> int:
+    from . import quick_max_frequency
+    p = quick_max_frequency(args.chip, args.chips, args.cooling,
+                            flip=args.flip)
+    if not p.feasible:
+        print(f"infeasible: even the lowest VFS step reaches "
+              f"{p.max_temp_c:.1f} C")
+        return 1
+    print(f"{args.chip} x{args.chips} under {args.cooling}"
+          f"{' (flip)' if args.flip else ''}: "
+          f"{p.f_ghz:.1f} GHz, hottest cell {p.max_temp_c:.1f} C, "
+          f"stack power {p.total_power_w:.0f} W")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.sweeps import frequency_vs_chips
+    chips = tuple(range(1, args.max_chips + 1))
+    cools = tuple(args.cooling) if args.cooling else (
+        "air", "water_pipe", "mineral_oil", "fluorinert", "water")
+    series = frequency_vs_chips(args.chip, chips, cools)
+    rows = []
+    for i, n in enumerate(chips):
+        rows.append([n] + [s.f_ghz[i] if s.f_ghz[i] > 0 else None
+                           for s in series])
+    print(format_table(["chips"] + [s.cooling for s in series], rows,
+                       float_fmt="{:.1f}"))
+    return 0
+
+
+def _cmd_npb(args: argparse.Namespace) -> int:
+    from .core.cosim import run_npb_comparison
+    from .perfsim.npb import NPB_ORDER
+    cmp_ = run_npb_comparison(args.chip, args.chips,
+                              reference=args.reference)
+    cools = [o.cooling for o in cmp_.outcomes if o.feasible]
+    rows = []
+    rel = {c: cmp_.relative_times(c) for c in cools}
+    for name in NPB_ORDER:
+        rows.append([name.upper()] + [rel[c][name] for c in cools])
+    rows.append(["average"] + [cmp_.average_relative(c) for c in cools])
+    print(format_table(["benchmark"] + cools, rows))
+    return 0
+
+
+def _cmd_maps(args: argparse.Namespace) -> int:
+    from .core.sweeps import thermal_maps
+    from .thermal.maps import MapStats, ascii_map
+    from .units import ghz
+    maps = thermal_maps(args.chip, args.cooling, ghz(args.ghz),
+                        n_chips=args.chips, flipped=args.flip)
+    for name, field in maps.items():
+        s = MapStats.from_field(name, field)
+        print(f"-- {name}: {s.min_c:.1f}..{s.max_c:.1f} C")
+        print(ascii_map(field))
+    return 0
+
+
+def _cmd_pue(args: argparse.Namespace) -> int:
+    from .cooling import pue_comparison
+    print(format_mapping("PUE by facility style", pue_comparison()))
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    from .core.cosim import headline_summary
+    print(format_mapping("headline (best average NPB reduction)",
+                         headline_summary()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import render_full_report
+    print(render_full_report())
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from .core.pareto import evaluate_designs, pareto_frontier
+    points = evaluate_designs(args.chip,
+                              tuple(range(1, args.max_chips + 1, 2)))
+    frontier = pareto_frontier(points)
+    rows = [[p.cooling, p.n_chips, p.f_ghz, p.throughput,
+             p.wall_power_w] for p in frontier]
+    print(format_table(["cooling", "chips", "GHz", "throughput",
+                        "wall W"], rows, float_fmt="{:.2f}"))
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    import json
+
+    from .config import ExperimentSpec
+    spec = ExperimentSpec.from_dict(json.loads(args.json))
+    res = spec.run()
+    if not res.feasible:
+        print(f"infeasible (coolest achievable maximum "
+              f"{res.max_temp_c:.1f} C)")
+        return 1
+    print(f"{spec.chip} x{spec.n_chips} under {spec.cooling}"
+          f"{' (flip)' if spec.flip else ''}: {res.f_ghz:.1f} GHz, "
+          f"{res.max_temp_c:.1f} C, {res.total_power_w:.0f} W")
+    if res.npb_time_s:
+        print(format_table(
+            ["benchmark", "time (ms)"],
+            [[k.upper(), v * 1e3] for k, v in res.npb_time_s.items()]))
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from .analysis.uncertainty import robustness_study
+    r = robustness_study(n_draws=args.draws, seed=args.seed)
+    print(format_mapping(
+        f"conclusion survival over the calibration band "
+        f"({r.draws} draws)",
+        {
+            "coolant ordering": r.ordering_rate,
+            "water deepest": r.water_deepest_rate,
+            "water-pipe 8-chip cliff": r.pipe_cliff_rate,
+            "water >= oil at 8 chips": r.water_beats_oil_npb_rate,
+        }))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Water-immersion computer boards (ICPP 2019), "
+                    "reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_chip(p, default="high-frequency-cmp"):
+        p.add_argument("--chip", default=default,
+                       choices=("low-power-cmp", "high-frequency-cmp",
+                                "xeon-e5-2667v4", "xeon-phi-7290"))
+
+    p = sub.add_parser("freq", help="max clock of one configuration")
+    add_chip(p)
+    p.add_argument("--chips", type=int, default=4)
+    p.add_argument("--cooling", default="water")
+    p.add_argument("--flip", action="store_true")
+    p.set_defaults(func=_cmd_freq)
+
+    p = sub.add_parser("sweep", help="frequency-vs-chips table")
+    add_chip(p, default="low-power-cmp")
+    p.add_argument("--max-chips", type=int, default=15)
+    p.add_argument("--cooling", nargs="*", default=None)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("npb", help="NPB relative execution times")
+    add_chip(p, default="low-power-cmp")
+    p.add_argument("--chips", type=int, default=6)
+    p.add_argument("--reference", default="water_pipe")
+    p.set_defaults(func=_cmd_npb)
+
+    p = sub.add_parser("maps", help="ASCII thermal maps")
+    add_chip(p)
+    p.add_argument("--chips", type=int, default=4)
+    p.add_argument("--cooling", default="water")
+    p.add_argument("--ghz", type=float, default=3.6)
+    p.add_argument("--flip", action="store_true")
+    p.set_defaults(func=_cmd_maps)
+
+    p = sub.add_parser("pue", help="facility PUE comparison")
+    p.set_defaults(func=_cmd_pue)
+
+    p = sub.add_parser("headline", help="abstract numbers end to end")
+    p.set_defaults(func=_cmd_headline)
+
+    p = sub.add_parser("report", help="full paper-vs-measured report")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("pareto", help="throughput/wall-power frontier")
+    add_chip(p)
+    p.add_argument("--max-chips", type=int, default=11)
+    p.set_defaults(func=_cmd_pareto)
+
+    p = sub.add_parser("spec", help="run a JSON ExperimentSpec")
+    p.add_argument("json", help="spec as a JSON object, e.g. "
+                                '\'{"chip": "low-power-cmp", '
+                                '"n_chips": 6, "cooling": "water"}\'')
+    p.set_defaults(func=_cmd_spec)
+
+    p = sub.add_parser("robustness",
+                       help="conclusion survival over the calibration "
+                            "band")
+    p.add_argument("--draws", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_robustness)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Declarative experiment configuration.
+
+One frozen dataclass that names everything an experiment needs — chip,
+stack height, rotation schedule, cooling option, temperature threshold,
+thread count, package overrides — plus ``run()`` to execute the full
+pipeline. Downstream users replicating a custom configuration write one
+spec instead of wiring five modules; the spec also round-trips through
+a plain dict for storage in result logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, self-describing experiment configuration.
+
+    Attributes:
+        chip: chip name ("low-power-cmp", ...).
+        n_chips: stack height.
+        cooling: cooling option name.
+        flip: apply the Section 4.2 alternating-rotation schedule.
+        threshold_c: temperature limit override (None = chip default).
+        threads: simulated thread count (None = all cores).
+        benchmarks: NPB programs to evaluate (None = all nine).
+        package_overrides: PackageParams field overrides (calibration
+            probes, ablations).
+        label: free-form tag recorded in results.
+    """
+
+    chip: str = "high-frequency-cmp"
+    n_chips: int = 4
+    cooling: str = "water"
+    flip: bool = False
+    threshold_c: float | None = None
+    threads: int | None = None
+    benchmarks: tuple[str, ...] | None = None
+    package_overrides: dict[str, float] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
+        if self.threads is not None and self.threads < 1:
+            raise ConfigurationError("threads must be >= 1")
+
+    # -- construction helpers -------------------------------------------------
+
+    def with_cooling(self, cooling: str) -> "ExperimentSpec":
+        """A copy under a different cooling option."""
+        return replace(self, cooling=cooling)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for result logs."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict` (tuples restored)."""
+        d = dict(data)
+        if d.get("benchmarks") is not None:
+            d["benchmarks"] = tuple(d["benchmarks"])
+        return cls(**d)
+
+    # -- pipeline pieces --------------------------------------------------------
+
+    def package_params(self):
+        """The (possibly overridden) thermal package constants."""
+        from .thermal.package import DEFAULT_PACKAGE
+        if not self.package_overrides:
+            return DEFAULT_PACKAGE
+        return replace(DEFAULT_PACKAGE, **self.package_overrides)
+
+    def thermal_model(self):
+        """The configured ThermalModel (built fresh; not memoized when
+        overrides are present)."""
+        from .cooling.options import get_cooling
+        from .power.processors import get_chip
+        from .stack.chipstack import StackConfig, flip_even_layers
+        from .thermal.hotspot import ThermalModel
+        chip = get_chip(self.chip)
+        stack = (flip_even_layers(chip, self.n_chips) if self.flip
+                 else StackConfig(chip=chip, n_chips=self.n_chips))
+        return ThermalModel(stack, get_cooling(self.cooling),
+                            self.package_params())
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> "ExperimentResult":
+        """Execute the power -> thermal -> performance pipeline."""
+        from .core.freqopt import max_frequency
+        from .perfsim.analytic import AnalyticModel
+        from .perfsim.npb import NPB_ORDER, get_profile
+        from .perfsim.system import SystemConfig
+
+        model = self.thermal_model()
+        point = max_frequency(model, self.threshold_c)
+        npb: dict[str, float] = {}
+        if point.feasible:
+            cfg = SystemConfig(n_chips=self.n_chips)
+            threads = (self.threads if self.threads is not None
+                       else cfg.total_cores)
+            perf = AnalyticModel(cfg, threads=threads)
+            programs = (self.benchmarks if self.benchmarks is not None
+                        else NPB_ORDER)
+            npb = {
+                name: perf.execution_time_s(get_profile(name), point.f_hz)
+                for name in programs
+            }
+        return ExperimentResult(spec=self, feasible=point.feasible,
+                                f_ghz=point.f_ghz,
+                                max_temp_c=point.max_temp_c,
+                                total_power_w=point.total_power_w,
+                                npb_time_s=npb)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one :meth:`ExperimentSpec.run`."""
+
+    spec: ExperimentSpec
+    feasible: bool
+    f_ghz: float
+    max_temp_c: float
+    total_power_w: float
+    npb_time_s: dict[str, float]
+
+    def speedup_over(self, other: "ExperimentResult") -> dict[str, float]:
+        """Per-benchmark T(other)/T(self) — >1 means self is faster."""
+        if not (self.feasible and other.feasible):
+            raise ConfigurationError(
+                "speedup needs two feasible results"
+            )
+        common = set(self.npb_time_s) & set(other.npb_time_s)
+        if not common:
+            raise ConfigurationError("no common benchmarks")
+        return {name: other.npb_time_s[name] / self.npb_time_s[name]
+                for name in sorted(common)}

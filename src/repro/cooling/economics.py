@@ -1,0 +1,122 @@
+"""Cooling economics (extension).
+
+The paper's introduction lists cost among water's advantages: "lower
+cost of coolants (when compared to mineral oil and fluorinert)" and a
+nominal coating cost given a commodity CVD line. This module turns the
+qualitative claims into a small total-cost model: coolant fill cost,
+coating cost per board, facility energy cost via PUE, and a simple
+per-node TCO over a service life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..thermal.coolants import Coolant, get_coolant
+
+WATER_COST_PER_LITRE_USD = 0.002
+"""Tap water at typical municipal rates (~2 USD/m**3)."""
+
+COATING_COST_PER_BOARD_USD = 120.0
+"""Parylene CVD run amortized per board on a commodity line (the paper:
+"the total coating cost would become nominal if a commodity CVD
+production line were developed"). A bespoke job-shop run is ~10x."""
+
+ELECTRICITY_USD_PER_KWH = 0.10
+
+
+def coolant_fill_cost_usd(coolant: Coolant, volume_litres: float) -> float:
+    """Cost of filling a tank with a coolant."""
+    if volume_litres <= 0:
+        raise ConfigurationError("volume must be positive")
+    return (coolant.relative_cost * WATER_COST_PER_LITRE_USD
+            * volume_litres)
+
+
+@dataclass(frozen=True)
+class NodeTco:
+    """Per-node total cost of ownership over a service life.
+
+    Attributes:
+        cooling: option name.
+        capex_usd: coating + coolant share + cooler hardware.
+        energy_usd: wall energy over the life (chip power x PUE).
+        total_usd: capex + energy.
+    """
+
+    cooling: str
+    capex_usd: float
+    energy_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        """Capex plus lifetime energy."""
+        return self.capex_usd + self.energy_usd
+
+
+#: Per-node cooler hardware and coolant share by option: (hardware USD,
+#: coolant litres per node). Immersion shares a tank; the pipe buys a
+#: loop; air buys a sink+fans.
+_NODE_COOLING_BOM: dict[str, tuple[float, float]] = {
+    "air": (60.0, 0.0),
+    "water_pipe": (140.0, 1.0),
+    "mineral_oil": (40.0, 60.0),
+    "fluorinert": (40.0, 60.0),
+    "water": (40.0, 60.0),
+}
+
+
+def node_tco(cooling: str, *, node_power_w: float = 250.0,
+             years: float = 5.0,
+             electricity_usd_per_kwh: float = ELECTRICITY_USD_PER_KWH
+             ) -> NodeTco:
+    """TCO of one immersion/air/pipe node over a service life."""
+    from .pue import (
+        AIR_CRAC,
+        NATURAL_WATER_DIRECT,
+        OIL_IMMERSION_FACILITY,
+        WATER_PIPE_FACILITY,
+    )
+    facilities = {
+        "air": AIR_CRAC,
+        "water_pipe": WATER_PIPE_FACILITY,
+        "mineral_oil": OIL_IMMERSION_FACILITY,
+        "fluorinert": OIL_IMMERSION_FACILITY,
+        "water": NATURAL_WATER_DIRECT,
+    }
+    if cooling not in _NODE_COOLING_BOM:
+        raise ConfigurationError(
+            f"no BOM for cooling {cooling!r}; known: "
+            f"{sorted(_NODE_COOLING_BOM)}"
+        )
+    if node_power_w <= 0 or years <= 0:
+        raise ConfigurationError("power and life must be positive")
+    hardware, litres = _NODE_COOLING_BOM[cooling]
+    capex = hardware
+    if litres > 0:
+        name = cooling if cooling != "water_pipe" else "water"
+        capex += coolant_fill_cost_usd(get_coolant(name), litres)
+    if cooling == "water":
+        capex += COATING_COST_PER_BOARD_USD
+    pue = facilities[cooling].pue()
+    kwh = node_power_w / 1000.0 * 8760.0 * years * pue
+    return NodeTco(cooling=cooling, capex_usd=capex,
+                   energy_usd=kwh * electricity_usd_per_kwh)
+
+
+def tco_comparison(*, node_power_w: float = 250.0, years: float = 5.0
+                   ) -> dict[str, NodeTco]:
+    """TCO of every option at one node size."""
+    return {name: node_tco(name, node_power_w=node_power_w, years=years)
+            for name in _NODE_COOLING_BOM}
+
+
+def coolant_cost_ranking(volume_litres: float = 1000.0
+                         ) -> dict[str, float]:
+    """Fill cost of a tank per coolant — the intro's cost claim."""
+    out = {}
+    for name in ("mineral_oil", "fluorinert", "water"):
+        out[name] = coolant_fill_cost_usd(get_coolant(name),
+                                          volume_litres)
+    return out

@@ -1,0 +1,96 @@
+"""Forced-convection model (Section 4.1's closing remark).
+
+The paper observes in the Fig. 14 sweep that heat-transfer coefficients
+*above* natural-convection water's 800 W/m2K still buy non-negligible
+temperature on high-power chips, so "it could be worthwhile in practice
+to increase coolant flow speed (e.g., via turbines)". This module
+supplies the missing link: a flow-speed-to-h correlation so that sweep
+can be driven in engineering units.
+
+For external flow over a plate-like surface, the standard Dittus-
+Boelter/Colburn-class scaling gives h growing with velocity to the 0.8
+power; we anchor the correlation at the paper's natural-convection
+values (v -> 0) and at typical forced-liquid measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..thermal.coolants import Coolant
+
+
+@dataclass(frozen=True)
+class FlowCorrelation:
+    """h(v) for one coolant.
+
+    h(v) = h_natural + c_forced * v**0.8
+
+    Attributes:
+        coolant: the fluid (supplies the natural-convection anchor).
+        c_forced: forced-convection coefficient, W/(m**2 K) per
+            (m/s)**0.8. The default water anchor (~4800) reproduces
+            h ~= 5-6 kW/m2K at 1 m/s, the usual liquid-jacket figure.
+    """
+
+    coolant: Coolant
+    c_forced: float
+
+    def __post_init__(self) -> None:
+        if self.c_forced <= 0:
+            raise ConfigurationError(
+                f"forced coefficient must be positive, got {self.c_forced}"
+            )
+
+    def h_at(self, velocity_m_s: float) -> float:
+        """Effective h at a bulk flow speed (v = 0 -> natural value)."""
+        if velocity_m_s < 0:
+            raise ConfigurationError(
+                f"velocity cannot be negative, got {velocity_m_s}"
+            )
+        return (self.coolant.h_w_m2k
+                + self.c_forced * velocity_m_s ** 0.8)
+
+    def velocity_for(self, h_target_w_m2k: float) -> float:
+        """Flow speed needed to reach a target h.
+
+        Raises:
+            ConfigurationError: if the target is below the natural-
+                convection floor (no flow needed / unreachable downward).
+        """
+        if h_target_w_m2k <= self.coolant.h_w_m2k:
+            raise ConfigurationError(
+                f"target h {h_target_w_m2k} at or below the natural-"
+                f"convection value {self.coolant.h_w_m2k}; no forced "
+                f"flow required"
+            )
+        excess = h_target_w_m2k - self.coolant.h_w_m2k
+        return (excess / self.c_forced) ** (1.0 / 0.8)
+
+    def pumping_power_w(self, velocity_m_s: float,
+                        wetted_area_m2: float,
+                        *, drag_coefficient: float = 0.01) -> float:
+        """Order-of-magnitude pump power to sustain a flow speed.
+
+        P ~ Cd * rho * A * v**3 / 2 — the cubic law that makes "just
+        pump harder" expensive, and the quantity a turbine-assisted
+        deployment must budget against its thermal gain.
+        """
+        if wetted_area_m2 <= 0:
+            raise ConfigurationError("wetted area must be positive")
+        rho = self.coolant.density_kg_m3
+        return 0.5 * drag_coefficient * rho * wetted_area_m2 * (
+            velocity_m_s ** 3)
+
+
+def water_flow_correlation() -> FlowCorrelation:
+    """The default water correlation (anchored at 800 W/m2K natural)."""
+    from ..thermal.coolants import WATER
+    return FlowCorrelation(coolant=WATER, c_forced=4800.0)
+
+
+def oil_flow_correlation() -> FlowCorrelation:
+    """Mineral-oil correlation (viscous: weaker forced gain)."""
+    from ..thermal.coolants import MINERAL_OIL
+    return FlowCorrelation(coolant=MINERAL_OIL, c_forced=900.0)

@@ -1,0 +1,142 @@
+"""Facility-level cooling and PUE model (Section 4.4).
+
+The paper's macro-system argument: existing facilities chain a primary
+coolant (touching the chips) to a secondary coolant (air outdoors, lake
+water pumped kilometres, chillers), each stage adding pump/fan/chiller
+power and thermal resistance. An in-water computer deployed directly in
+natural water removes the secondary stage and its machinery entirely,
+approaching PUE 1.00.
+
+Reference points the model encodes: PUE 1.03 reported for oil-immersion
+HPC (Green Revolution Cooling); CSCS pumping lake water 2.8 km as a
+secondary coolant; ABCI's 70 kW/rack with hot-water primary and air
+secondary cooling; Microsoft Natick using the sea as a secondary
+coolant. The paper's proposal is the only configuration whose *primary*
+coolant is natural water.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoolingStage:
+    """One stage of a cooling chain.
+
+    Attributes:
+        name: stage label ("CRAC air loop", "oil pumps", ...).
+        overhead_fraction: stage power as a fraction of IT power.
+    """
+
+    name: str
+    overhead_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.overhead_fraction < 0:
+            raise ConfigurationError(
+                f"stage {self.name!r}: overhead cannot be negative"
+            )
+
+
+@dataclass(frozen=True)
+class CoolingFacility:
+    """A datacenter cooling chain.
+
+    Attributes:
+        name: facility style.
+        stages: primary-to-secondary chain.
+        uses_natural_water_as_primary: the paper's distinguishing flag.
+        non_cooling_overhead_fraction: power distribution / lighting
+            losses included in PUE but unrelated to cooling.
+    """
+
+    name: str
+    stages: tuple[CoolingStage, ...]
+    uses_natural_water_as_primary: bool = False
+    non_cooling_overhead_fraction: float = 0.02
+
+    def cooling_overhead(self) -> float:
+        """Total cooling power as a fraction of IT power."""
+        return sum(s.overhead_fraction for s in self.stages)
+
+    def pue(self) -> float:
+        """Power usage effectiveness = total / IT power."""
+        return (1.0 + self.cooling_overhead()
+                + self.non_cooling_overhead_fraction)
+
+
+AIR_CRAC = CoolingFacility(
+    name="air-cooled (CRAC + chiller)",
+    stages=(
+        CoolingStage("server fans", 0.08),
+        CoolingStage("CRAC air handlers", 0.12),
+        CoolingStage("chiller plant", 0.25),
+    ),
+)
+
+WATER_PIPE_FACILITY = CoolingFacility(
+    name="water-pipe (cold plates + warm-water loop)",
+    stages=(
+        CoolingStage("loop pumps", 0.04),
+        CoolingStage("dry coolers / chillers", 0.12),
+    ),
+)
+
+OIL_IMMERSION_FACILITY = CoolingFacility(
+    name="oil immersion (tanks + secondary water loop)",
+    stages=(
+        CoolingStage("oil circulation pumps", 0.02),
+        CoolingStage("oil-to-water heat exchanger + tower", 0.06),
+    ),
+)
+"""Matches the ~1.03-1.10 PUE reported for oil-immersion systems."""
+
+WATER_IMMERSION_TANK = CoolingFacility(
+    name="water immersion (tank + heat exchanger)",
+    stages=(
+        CoolingStage("tank water circulation", 0.02),
+        CoolingStage("water-to-water exchanger", 0.03),
+    ),
+)
+"""Coated boards in a tank whose water is itself cooled conventionally."""
+
+NATURAL_WATER_DIRECT = CoolingFacility(
+    name="in-water computers under natural water",
+    stages=(),
+    uses_natural_water_as_primary=True,
+    non_cooling_overhead_fraction=0.005,
+)
+"""The paper's Section 4.4 endpoint: the river/sea is the primary
+coolant; no pumps, pipes, chillers, or secondary loop. PUE ~= 1.00."""
+
+
+FACILITIES = {
+    f.name: f
+    for f in (AIR_CRAC, WATER_PIPE_FACILITY, OIL_IMMERSION_FACILITY,
+              WATER_IMMERSION_TANK, NATURAL_WATER_DIRECT)
+}
+
+
+def pue_comparison() -> dict[str, float]:
+    """PUE of every facility style (the Section 4.4 bench's table)."""
+    return {name: f.pue() for name, f in FACILITIES.items()}
+
+
+def datacenter_power_kw(it_power_kw: float, facility: CoolingFacility
+                        ) -> float:
+    """Total facility draw for a given IT load."""
+    if it_power_kw <= 0:
+        raise ConfigurationError(
+            f"IT power must be positive, got {it_power_kw}"
+        )
+    return it_power_kw * facility.pue()
+
+
+def annual_cooling_energy_mwh(it_power_kw: float,
+                              facility: CoolingFacility) -> float:
+    """Cooling (non-IT) energy per year, MWh."""
+    overhead_kw = it_power_kw * (facility.pue() - 1.0)
+    return overhead_kw * 8760.0 / 1000.0

@@ -1,0 +1,143 @@
+"""Immersion-tank packing model (extension).
+
+The paper's future work item (2): "evaluation for the ability to
+densely pack compute nodes". This extension models a tank (or a
+natural-water enclosure like the Tokyo Bay box) holding N boards:
+
+* **Water energy balance** — the coolant warms as it absorbs the
+  aggregate power: with a volumetric exchange flow Q (river inlet, or a
+  heat-exchanger loop), the bulk water temperature settles at
+  ``T_in + P_total / (rho c_p Q)``. Each board's thermal model then
+  sees that bulk temperature as its ambient.
+* **Convective crowding** — natural convection needs room for the
+  buoyant plume; below a minimum board pitch the effective h degrades
+  linearly (the standard channel-crowding first-order model).
+
+The resulting question — how many boards fit a given tank before the
+hottest chip violates its threshold — is answered by
+:func:`max_boards`, and the knobs (flow, pitch) quantify the paper's
+qualitative claim that natural water (effectively infinite Q) packs
+densest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..thermal.coolants import WATER, Coolant
+
+
+@dataclass(frozen=True)
+class TankConfig:
+    """An immersion tank and its water supply.
+
+    Attributes:
+        coolant: the immersion fluid.
+        inlet_temp_c: supply water temperature (river/tap/loop).
+        exchange_flow_m3_s: volumetric exchange with the supply. A
+            river deployment has a practically unbounded value; a
+            closed tank is limited by its heat-exchanger loop.
+        board_pitch_m: spacing between adjacent boards.
+        min_pitch_m: pitch below which buoyant plumes merge and the
+            effective h starts degrading.
+        board_power_w: dissipation per board (stack + VRMs).
+    """
+
+    coolant: Coolant = WATER
+    inlet_temp_c: float = 25.0
+    exchange_flow_m3_s: float = 1e-3
+    board_pitch_m: float = 0.05
+    min_pitch_m: float = 0.03
+    board_power_w: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.exchange_flow_m3_s <= 0:
+            raise ConfigurationError("exchange flow must be positive")
+        if self.board_pitch_m <= 0 or self.min_pitch_m <= 0:
+            raise ConfigurationError("pitches must be positive")
+        if self.board_power_w <= 0:
+            raise ConfigurationError("board power must be positive")
+
+    def bulk_water_temp_c(self, n_boards: int) -> float:
+        """Steady bulk water temperature with n boards dissipating."""
+        if n_boards < 0:
+            raise ConfigurationError("board count cannot be negative")
+        p_total = n_boards * self.board_power_w
+        heat_capacity_rate = (self.coolant.density_kg_m3
+                              * self.coolant.specific_heat_j_kgk
+                              * self.exchange_flow_m3_s)
+        return self.inlet_temp_c + p_total / heat_capacity_rate
+
+    def crowding_factor(self) -> float:
+        """Effective-h multiplier from board spacing, in (0, 1]."""
+        if self.board_pitch_m >= self.min_pitch_m:
+            return 1.0
+        return max(self.board_pitch_m / self.min_pitch_m, 0.05)
+
+    def effective_h_w_m2k(self) -> float:
+        """Coolant h after crowding degradation."""
+        return self.coolant.h_w_m2k * self.crowding_factor()
+
+
+def board_junction_c(tank: TankConfig, n_boards: int,
+                     board_resistance_kw: float = 0.20) -> float:
+    """Hottest-chip temperature of one board among n in the tank.
+
+    Args:
+        tank: tank configuration.
+        n_boards: boards sharing the water.
+        board_resistance_kw: junction-to-water resistance of one
+            immersed node at the tank's clean h. The default 0.20 K/W
+            is the calibrated water-immersion effective resistance of
+            the CMP-stack package (an entire 250 W node, sink + board
+            paths in parallel), not the Fig. 4 single-CPU prototype's
+            0.48 K/W-per-65 W path.
+    """
+    # Split the node resistance into a conduction part and a convection
+    # part; crowding scales the latter.
+    conv_share = 0.15
+    r_cond = board_resistance_kw * (1.0 - conv_share)
+    r_conv = (board_resistance_kw * conv_share) / tank.crowding_factor()
+    water = tank.bulk_water_temp_c(n_boards)
+    return water + tank.board_power_w * (r_cond + r_conv)
+
+
+def max_boards(tank: TankConfig, threshold_c: float = 80.0,
+               *, limit: int = 100_000) -> int:
+    """Largest board count whose hottest chip stays under threshold.
+
+    Monotone in n (more boards -> warmer water), so a doubling search
+    plus bisection finds the answer in O(log n) evaluations.
+    """
+    if board_junction_c(tank, 1) > threshold_c:
+        return 0
+    lo, hi = 1, 2
+    while hi < limit and board_junction_c(tank, hi) <= threshold_c:
+        lo, hi = hi, hi * 2
+    if hi >= limit:
+        return limit
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if board_junction_c(tank, mid) <= threshold_c:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def packing_study(flows_m3_s: tuple[float, ...],
+                  *, threshold_c: float = 80.0,
+                  tank: TankConfig | None = None
+                  ) -> dict[float, int]:
+    """Max board count as a function of the exchange flow.
+
+    The paper's qualitative point quantified: a river (large Q) packs
+    far more nodes than a closed tank with a small exchanger loop.
+    """
+    base = tank if tank is not None else TankConfig()
+    from dataclasses import replace
+    return {
+        q: max_boards(replace(base, exchange_flow_m3_s=q), threshold_c)
+        for q in flows_m3_s
+    }

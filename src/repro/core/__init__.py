@@ -1,0 +1,65 @@
+"""Core pipeline: frequency optimization, sweeps, co-simulation."""
+
+from .cosim import (
+    CoolingOutcome,
+    NpbComparison,
+    headline_summary,
+    run_npb_comparison,
+)
+from .dtm import DtmController, DtmPolicy, DtmTrace, dtm_vs_static
+from .energy import EnergyOutcome, energy_outcomes, relative_energy_table
+from .feedback import (
+    FeedbackResult,
+    max_frequency_with_feedback,
+    solve_with_leakage_feedback,
+)
+from .freqopt import OperatingPoint, max_frequency, max_frequency_for, require_feasible
+from .pareto import (
+    DesignPoint,
+    evaluate_designs,
+    frontier_share,
+    pareto_frontier,
+)
+from .sweeps import (
+    FreqTempSeries,
+    FrequencySeries,
+    HSweepSeries,
+    frequency_vs_chips,
+    rotation_gain_c,
+    temperature_vs_frequency,
+    temperature_vs_h,
+    thermal_maps,
+)
+
+__all__ = [
+    "DtmController",
+    "DtmPolicy",
+    "DtmTrace",
+    "dtm_vs_static",
+    "FeedbackResult",
+    "solve_with_leakage_feedback",
+    "max_frequency_with_feedback",
+    "EnergyOutcome",
+    "energy_outcomes",
+    "relative_energy_table",
+    "DesignPoint",
+    "evaluate_designs",
+    "pareto_frontier",
+    "frontier_share",
+    "OperatingPoint",
+    "max_frequency",
+    "max_frequency_for",
+    "require_feasible",
+    "CoolingOutcome",
+    "NpbComparison",
+    "run_npb_comparison",
+    "headline_summary",
+    "FrequencySeries",
+    "HSweepSeries",
+    "FreqTempSeries",
+    "frequency_vs_chips",
+    "temperature_vs_h",
+    "temperature_vs_frequency",
+    "thermal_maps",
+    "rotation_gain_c",
+]

@@ -1,0 +1,159 @@
+"""Power -> thermal -> performance co-simulation (Figs. 10-13).
+
+The paper's pipeline: McPAT gives per-block power at each VFS step;
+HotSpot finds the highest step each cooling option sustains under the
+80 C threshold; gem5 runs the NPB programs at that step. Execution
+times are reported relative to a reference cooling option (water pipe
+for Figs. 10/12/13; mineral oil for Fig. 11 because the water pipe
+cannot sustain the 8-chip low-power stack at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cooling.options import get_cooling
+from ..errors import InfeasibleError
+from ..perfsim.analytic import AnalyticModel
+from ..perfsim.npb import NPB_ORDER, get_profile
+from ..perfsim.system import SystemConfig, config_for_stack
+from ..power.processors import get_chip
+from ..stack.chipstack import StackConfig
+from ..thermal.hotspot import ThermalModel, model_for
+from ..thermal.package import DEFAULT_PACKAGE, PackageParams
+from .freqopt import OperatingPoint, max_frequency
+
+
+@dataclass(frozen=True)
+class CoolingOutcome:
+    """One cooling option's end-to-end result for a stack."""
+
+    cooling: str
+    point: OperatingPoint
+    npb_time_s: dict[str, float]
+
+    @property
+    def feasible(self) -> bool:
+        """False when no VFS step satisfied the threshold."""
+        return self.point.feasible
+
+
+@dataclass(frozen=True)
+class NpbComparison:
+    """A full Figs. 10-13-style experiment.
+
+    Attributes:
+        chip: chip name.
+        n_chips: stack height.
+        threads: simulated thread count (24 or 32 in the paper).
+        reference: the cooling option execution times are divided by.
+        outcomes: per-option results in the paper's order.
+    """
+
+    chip: str
+    n_chips: int
+    threads: int
+    reference: str
+    outcomes: tuple[CoolingOutcome, ...]
+
+    def outcome(self, cooling: str) -> CoolingOutcome:
+        """Look up one cooling option's outcome."""
+        for o in self.outcomes:
+            if o.cooling == cooling:
+                return o
+        raise InfeasibleError(
+            f"no outcome for cooling option {cooling!r}"
+        )
+
+    def relative_times(self, cooling: str) -> dict[str, float]:
+        """Per-benchmark T(cooling)/T(reference) — the figure's bars."""
+        ref = self.outcome(self.reference)
+        tgt = self.outcome(cooling)
+        if not (ref.feasible and tgt.feasible):
+            raise InfeasibleError(
+                f"relative times need both {cooling!r} and "
+                f"{self.reference!r} feasible at {self.n_chips} chips"
+            )
+        return {
+            name: tgt.npb_time_s[name] / ref.npb_time_s[name]
+            for name in NPB_ORDER
+        }
+
+    def average_relative(self, cooling: str) -> float:
+        """Mean of the relative times over the nine programs."""
+        rel = self.relative_times(cooling)
+        return sum(rel.values()) / len(rel)
+
+    def best_improvement(self, cooling: str) -> float:
+        """Largest per-benchmark time reduction vs the reference (0..1)."""
+        rel = self.relative_times(cooling)
+        return 1.0 - min(rel.values())
+
+
+def run_npb_comparison(chip_name: str, n_chips: int, *,
+                       reference: str,
+                       coolings: tuple[str, ...] = (
+                           "water_pipe", "mineral_oil", "fluorinert",
+                           "water"),
+                       threads: int | None = None,
+                       params: PackageParams = DEFAULT_PACKAGE
+                       ) -> NpbComparison:
+    """Run the full co-simulation for one figure's configuration.
+
+    Infeasible options are included with ``feasible=False`` and empty
+    time tables (the paper leaves their bars out of the figure).
+    """
+    chip = get_chip(chip_name)
+    config: SystemConfig = config_for_stack(chip, n_chips)
+    nthreads = threads if threads is not None else config.total_cores
+    perf = AnalyticModel(config, threads=nthreads)
+
+    outcomes = []
+    for cooling in coolings:
+        model = model_for(chip_name, n_chips, cooling, params=params)
+        point = max_frequency(model)
+        times: dict[str, float] = {}
+        if point.feasible:
+            times = {
+                name: perf.execution_time_s(get_profile(name), point.f_hz)
+                for name in NPB_ORDER
+            }
+        outcomes.append(CoolingOutcome(cooling=cooling, point=point,
+                                       npb_time_s=times))
+    return NpbComparison(
+        chip=chip_name,
+        n_chips=n_chips,
+        threads=nthreads,
+        reference=reference,
+        outcomes=tuple(outcomes),
+    )
+
+
+def headline_summary() -> dict[str, float]:
+    """The paper's headline numbers from the four NPB configurations.
+
+    Returns a dict with the best average improvement of water over the
+    water pipe and over mineral oil across the Figs. 10-13 set (the
+    paper: "up to 14% and 4.5% ... on average").
+    """
+    configs = (
+        ("low-power-cmp", 6, "water_pipe"),
+        ("low-power-cmp", 8, "mineral_oil"),
+        ("high-frequency-cmp", 6, "water_pipe"),
+        ("high-frequency-cmp", 8, "water_pipe"),
+    )
+    best_vs_pipe = 0.0
+    best_vs_oil = 0.0
+    for chip, n, ref in configs:
+        cmp_ = run_npb_comparison(chip, n, reference=ref)
+        water_avg = 1.0 - cmp_.average_relative("water")
+        if ref == "water_pipe":
+            best_vs_pipe = max(best_vs_pipe, water_avg)
+        if cmp_.outcome("mineral_oil").feasible:
+            oil = run_npb_comparison(chip, n, reference="mineral_oil")
+            best_vs_oil = max(best_vs_oil,
+                              1.0 - oil.average_relative("water"))
+    return {
+        "water_vs_water_pipe_avg_reduction": best_vs_pipe,
+        "water_vs_mineral_oil_avg_reduction": best_vs_oil,
+    }

@@ -1,0 +1,192 @@
+"""Dynamic thermal management (extension).
+
+The paper's related-work section positions DTM (Brooks/Martonosi,
+Skadron et al.) as complementary: the paper sizes the *worst-case*
+operating point, while DTM throttles at runtime. This extension closes
+the loop: a reactive DVFS controller runs on the transient solver and
+reports the throughput actually delivered, so worst-case static
+frequency selection (the paper's policy) can be compared against
+DTM-with-headroom under any cooling option.
+
+Controller: sample the hottest die cell every control period; if above
+``trip_c``, step one VFS notch down; if below ``trip_c - hysteresis_c``
+and below the cap, step one notch up. This is the classic reactive
+frequency-stepping DTM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..thermal.hotspot import ThermalModel
+from ..thermal.package import stack_power_maps
+from ..thermal.transient import TransientSolver
+
+
+@dataclass(frozen=True)
+class DtmPolicy:
+    """Reactive DVFS throttling policy.
+
+    Attributes:
+        trip_c: throttle when the hottest cell exceeds this.
+        hysteresis_c: re-accelerate only below ``trip_c - hysteresis_c``.
+        control_period_s: sampling/actuation interval.
+    """
+
+    trip_c: float = 80.0
+    hysteresis_c: float = 2.0
+    control_period_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_c < 0:
+            raise ConfigurationError("hysteresis cannot be negative")
+        if self.control_period_s <= 0:
+            raise ConfigurationError("control period must be positive")
+
+
+@dataclass(frozen=True)
+class DtmTrace:
+    """Outcome of a DTM run.
+
+    Attributes:
+        times_s: control-period boundaries.
+        f_hz: frequency held during each period (len = len(times_s) - 1).
+        max_temp_c: hottest cell at each boundary.
+        threshold_c: the policy trip point.
+    """
+
+    times_s: np.ndarray
+    f_hz: np.ndarray
+    max_temp_c: np.ndarray
+    threshold_c: float
+
+    @property
+    def mean_frequency_hz(self) -> float:
+        """Time-average delivered frequency."""
+        return float(self.f_hz.mean())
+
+    @property
+    def peak_c(self) -> float:
+        """Hottest sample in the trace."""
+        return float(self.max_temp_c.max())
+
+    def duty_at_max(self, f_max_hz: float) -> float:
+        """Fraction of periods spent at the maximum frequency."""
+        return float((self.f_hz >= f_max_hz - 1e3).mean())
+
+    def violation_time_s(self) -> float:
+        """Time spent above the trip point (bounded by one period)."""
+        dt = np.diff(self.times_s)
+        hot = self.max_temp_c[1:] > self.threshold_c
+        return float(dt[hot].sum())
+
+
+class DtmController:
+    """Runs the reactive policy on a thermal model's transient network.
+
+    Args:
+        model: the (stack, cooling) thermal model.
+        policy: throttle policy.
+        dt_s: integration step (must divide the control period).
+    """
+
+    def __init__(self, model: ThermalModel, policy: DtmPolicy,
+                 *, dt_s: float = 0.01) -> None:
+        steps = policy.control_period_s / dt_s
+        if abs(steps - round(steps)) > 1e-9 or steps < 1:
+            raise ConfigurationError(
+                f"control period {policy.control_period_s}s must be an "
+                f"integer multiple of dt {dt_s}s"
+            )
+        self.model = model
+        self.policy = policy
+        self.dt_s = dt_s
+        self._steps_per_period = int(round(steps))
+        self._solver = TransientSolver(model.network, dt_s)
+        self._freqs = model.stack.chip.ladder.frequencies()
+        self._die_slice = self._die_node_mask()
+        self._power_cache: dict[float, dict[str, np.ndarray]] = {}
+
+    def _die_node_mask(self) -> np.ndarray:
+        mask = np.zeros(self.model.network.num_nodes, dtype=bool)
+        off = 0
+        die_names = {f"die{i}" for i in range(self.model.stack.n_chips)}
+        for la in self.model.network.layers:
+            if la.name in die_names:
+                mask[off:off + la.num_cells] = True
+            off += la.num_cells
+        return mask
+
+    def _power_at(self, f_hz: float) -> dict[str, np.ndarray]:
+        key = round(f_hz, 3)
+        if key not in self._power_cache:
+            self._power_cache[key] = stack_power_maps(
+                self.model.stack, f_hz, self.model.params)
+        return self._power_cache[key]
+
+    def run(self, duration_s: float, *, start_index: int | None = None
+            ) -> DtmTrace:
+        """Simulate the controller from a cold (ambient) start.
+
+        Args:
+            duration_s: simulated wall-clock time.
+            start_index: initial VFS step index (defaults to the top —
+                the aggressive start that forces the controller to work).
+        """
+        n_periods = int(round(duration_s / self.policy.control_period_s))
+        if n_periods < 1:
+            raise ConfigurationError("duration shorter than one period")
+        idx = (len(self._freqs) - 1 if start_index is None
+               else int(start_index))
+        if not (0 <= idx < len(self._freqs)):
+            raise ConfigurationError(f"start index {idx} out of range")
+        t_vec = self._solver.initial_state()
+        times = [0.0]
+        freqs = []
+        max_t = [float(t_vec[self._die_slice].max())]
+        for p in range(n_periods):
+            f = float(self._freqs[idx])
+            power = self._power_at(f)
+            for _ in range(self._steps_per_period):
+                t_vec = self._solver.step(t_vec, power)
+            hottest = float(t_vec[self._die_slice].max())
+            times.append((p + 1) * self.policy.control_period_s)
+            freqs.append(f)
+            max_t.append(hottest)
+            if hottest > self.policy.trip_c and idx > 0:
+                idx -= 1
+            elif (hottest < self.policy.trip_c - self.policy.hysteresis_c
+                  and idx < len(self._freqs) - 1):
+                idx += 1
+        return DtmTrace(
+            times_s=np.array(times),
+            f_hz=np.array(freqs),
+            max_temp_c=np.array(max_t),
+            threshold_c=self.policy.trip_c,
+        )
+
+
+def dtm_vs_static(model: ThermalModel, *, duration_s: float = 20.0,
+                  policy: DtmPolicy | None = None) -> dict[str, float]:
+    """Compare DTM's delivered frequency with the static worst-case pick.
+
+    Returns mean DTM frequency, the static max-frequency answer, and
+    their ratio — quantifying how much performance the worst-case design
+    leaves on the table (DTM can exploit the package's thermal inertia
+    and the fact that the steady state is the *worst* case).
+    """
+    from .freqopt import max_frequency
+    pol = policy or DtmPolicy(trip_c=model.stack.chip.threshold_c)
+    controller = DtmController(model, pol)
+    trace = controller.run(duration_s)
+    static = max_frequency(model)
+    return {
+        "dtm_mean_ghz": trace.mean_frequency_hz / 1e9,
+        "static_ghz": static.f_ghz,
+        "dtm_over_static": (trace.mean_frequency_hz
+                            / max(static.f_hz, 1.0)),
+        "dtm_peak_c": trace.peak_c,
+    }

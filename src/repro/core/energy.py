@@ -1,0 +1,93 @@
+"""Energy and energy-delay analysis (extension).
+
+The paper optimizes execution time under a temperature cap; better
+cooling lets chips spend *more* power to finish sooner. This extension
+reports the energy side of that trade for the NPB configurations:
+
+* energy per run: stack power at the operating point x execution time;
+* energy-delay product (EDP = E x T), the standard single-number
+  efficiency metric;
+* wall-level variants that fold in the facility PUE, where water's
+  story strengthens further (less cooling overhead on top of less
+  time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InfeasibleError
+from .cosim import NpbComparison
+
+
+@dataclass(frozen=True)
+class EnergyOutcome:
+    """Energy metrics of one cooling option at one NPB configuration.
+
+    Attributes:
+        cooling: option name.
+        f_ghz: operating point.
+        mean_time_s: NPB-average execution time.
+        chip_energy_j: stack energy per average run.
+        wall_energy_j: chip energy times the facility PUE.
+        edp: chip energy x time (J.s).
+    """
+
+    cooling: str
+    f_ghz: float
+    mean_time_s: float
+    chip_energy_j: float
+    wall_energy_j: float
+    edp: float
+
+
+def energy_outcomes(cmp_: NpbComparison) -> tuple[EnergyOutcome, ...]:
+    """Energy metrics for every feasible option of a comparison."""
+    from .pareto import _FACILITY_OF
+
+    out = []
+    for o in cmp_.outcomes:
+        if not o.feasible:
+            continue
+        times = list(o.npb_time_s.values())
+        mean_t = sum(times) / len(times)
+        power = o.point.total_power_w
+        energy = power * mean_t
+        pue = _FACILITY_OF[o.cooling].pue()
+        out.append(EnergyOutcome(
+            cooling=o.cooling,
+            f_ghz=o.point.f_ghz,
+            mean_time_s=mean_t,
+            chip_energy_j=energy,
+            wall_energy_j=energy * pue,
+            edp=energy * mean_t,
+        ))
+    if not out:
+        raise InfeasibleError(
+            "no feasible cooling option in the comparison"
+        )
+    return tuple(out)
+
+
+def relative_energy_table(cmp_: NpbComparison, reference: str
+                          ) -> dict[str, dict[str, float]]:
+    """Per-option metrics relative to a reference option.
+
+    Returns {cooling: {time, chip_energy, wall_energy, edp}} with every
+    entry normalized to the reference (1.0 = equal).
+    """
+    outcomes = {o.cooling: o for o in energy_outcomes(cmp_)}
+    if reference not in outcomes:
+        raise InfeasibleError(
+            f"reference {reference!r} infeasible or absent"
+        )
+    ref = outcomes[reference]
+    table = {}
+    for name, o in outcomes.items():
+        table[name] = {
+            "time": o.mean_time_s / ref.mean_time_s,
+            "chip_energy": o.chip_energy_j / ref.chip_energy_j,
+            "wall_energy": o.wall_energy_j / ref.wall_energy_j,
+            "edp": o.edp / ref.edp,
+        }
+    return table

@@ -1,0 +1,152 @@
+"""Sweep drivers behind the paper's figures.
+
+Each function regenerates the data series of one figure family:
+
+* :func:`frequency_vs_chips` — Figs. 1, 7, 8, 17;
+* :func:`temperature_vs_h` — Fig. 14;
+* :func:`temperature_vs_frequency` — Fig. 15;
+* :func:`thermal_maps` — Figs. 9, 16, 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cooling.options import CoolingOption, get_cooling
+from ..power.processors import get_chip
+from ..stack.chipstack import StackConfig, flip_even_layers
+from ..thermal.coolants import custom_coolant
+from ..thermal.hotspot import ThermalModel, model_for
+from ..thermal.package import DEFAULT_PACKAGE, PackageParams
+from .freqopt import OperatingPoint, max_frequency
+
+
+@dataclass(frozen=True)
+class FrequencySeries:
+    """One cooling option's max-frequency-vs-chips curve."""
+
+    cooling: str
+    chips: tuple[int, ...]
+    f_ghz: tuple[float, ...]   # 0.0 where infeasible
+
+    def feasible_up_to(self) -> int:
+        """Largest chip count with a feasible operating point."""
+        best = 0
+        for n, f in zip(self.chips, self.f_ghz):
+            if f > 0:
+                best = n
+        return best
+
+
+def frequency_vs_chips(chip_name: str, chips: tuple[int, ...],
+                       coolings: tuple[str, ...],
+                       *, threshold_c: float | None = None,
+                       params: PackageParams = DEFAULT_PACKAGE
+                       ) -> tuple[FrequencySeries, ...]:
+    """Max frequency vs stack height for several cooling options."""
+    out = []
+    for cooling in coolings:
+        freqs = []
+        for n in chips:
+            model = model_for(chip_name, n, cooling, params=params)
+            p = max_frequency(model, threshold_c)
+            freqs.append(p.f_ghz if p.feasible else 0.0)
+        out.append(FrequencySeries(cooling=cooling, chips=tuple(chips),
+                                   f_ghz=tuple(freqs)))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class HSweepSeries:
+    """One chip's max-temperature-vs-h curve (Fig. 14)."""
+
+    chip: str
+    h_values: tuple[float, ...]
+    max_temp_c: tuple[float, ...]
+
+
+def temperature_vs_h(chip_name: str, h_values: tuple[float, ...],
+                     *, n_chips: int = 4,
+                     params: PackageParams = DEFAULT_PACKAGE
+                     ) -> HSweepSeries:
+    """Maximum stack temperature vs coolant heat-transfer coefficient.
+
+    Reproduces Fig. 14: a 4-chip stack at the chip's maximum frequency,
+    fully immersed (no film — the sweep isolates the coolant itself),
+    with h swept across the air-to-beyond-water range.
+    """
+    chip = get_chip(chip_name)
+    stack = StackConfig(chip=chip, n_chips=n_chips)
+    temps = []
+    for h in h_values:
+        coolant = custom_coolant(f"h={h:g}", h_w_m2k=float(h))
+        cooling = CoolingOption(
+            name=f"sweep-h{h:g}",
+            style="immersion",
+            primary_coolant=coolant,
+            board_coolant=coolant,
+        )
+        model = ThermalModel(stack, cooling, params)
+        temps.append(model.max_temperature_c(chip.ladder.f_max_hz))
+    return HSweepSeries(chip=chip_name, h_values=tuple(float(h) for h in h_values),
+                        max_temp_c=tuple(temps))
+
+
+@dataclass(frozen=True)
+class FreqTempSeries:
+    """Temperature vs frequency, with or without rotation (Fig. 15)."""
+
+    cooling: str
+    flipped: bool
+    f_ghz: tuple[float, ...]
+    max_temp_c: tuple[float, ...]
+
+
+def temperature_vs_frequency(chip_name: str, cooling_name: str,
+                             *, n_chips: int = 4, flipped: bool = False,
+                             params: PackageParams = DEFAULT_PACKAGE
+                             ) -> FreqTempSeries:
+    """Max temperature across the VFS ladder for a (possibly flipped) stack."""
+    chip = get_chip(chip_name)
+    stack = (flip_even_layers(chip, n_chips) if flipped
+             else StackConfig(chip=chip, n_chips=n_chips))
+    model = ThermalModel(stack, get_cooling(cooling_name), params)
+    freqs = chip.ladder.frequencies()
+    temps = tuple(model.max_temperature_c(float(f)) for f in freqs)
+    return FreqTempSeries(
+        cooling=cooling_name,
+        flipped=flipped,
+        f_ghz=tuple(float(f) / 1e9 for f in freqs),
+        max_temp_c=temps,
+    )
+
+
+def thermal_maps(chip_name: str, cooling_name: str, f_hz: float,
+                 *, n_chips: int = 4, flipped: bool = False,
+                 params: PackageParams = DEFAULT_PACKAGE
+                 ) -> dict[str, np.ndarray]:
+    """Per-die temperature fields (Figs. 9, 16, 18)."""
+    chip = get_chip(chip_name)
+    stack = (flip_even_layers(chip, n_chips) if flipped
+             else StackConfig(chip=chip, n_chips=n_chips))
+    model = ThermalModel(stack, get_cooling(cooling_name), params)
+    return model.die_temperature_fields(f_hz)
+
+
+def rotation_gain_c(chip_name: str, cooling_name: str, f_hz: float,
+                    *, n_chips: int = 4,
+                    params: PackageParams = DEFAULT_PACKAGE) -> float:
+    """Temperature reduction the flip buys at one operating point."""
+    plain = temperature_vs_frequency(chip_name, cooling_name,
+                                     n_chips=n_chips, flipped=False,
+                                     params=params)
+    flip = temperature_vs_frequency(chip_name, cooling_name,
+                                    n_chips=n_chips, flipped=True,
+                                    params=params)
+    f_ghz = f_hz / 1e9
+    for f, tp, tf in zip(plain.f_ghz, plain.max_temp_c, flip.max_temp_c):
+        if abs(f - f_ghz) < 1e-9:
+            return tp - tf
+    raise ValueError(f"{f_ghz} GHz is not a ladder step")

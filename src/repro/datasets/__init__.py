@@ -1,0 +1,5 @@
+"""Digitized numbers from the paper (single source of truth for checks)."""
+
+from . import paper
+
+__all__ = ["paper"]

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by misuse are still allowed where the
+standard library would raise them).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model configuration is inconsistent or incomplete."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan violates a geometric invariant (overlap, coverage...)."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal network could not be assembled or solved."""
+
+
+class SingularNetworkError(ThermalModelError):
+    """The conductance matrix is singular (no path to ambient)."""
+
+
+class PowerModelError(ReproError):
+    """The power model was queried outside its valid domain."""
+
+
+class VFSRangeError(PowerModelError):
+    """A frequency outside the chip's voltage-frequency-scaling ladder."""
+
+
+class InfeasibleError(ReproError):
+    """No operating point satisfies the thermal constraint.
+
+    Raised by the frequency optimizer when even the lowest VFS step
+    exceeds the temperature threshold — e.g. air cooling of a 5-chip
+    low-power stack in the paper's Fig. 7.
+    """
+
+
+class SimulationError(ReproError):
+    """The performance simulator entered an invalid state."""
+
+
+class CalibrationError(ReproError):
+    """A calibration routine failed to converge to its anchors."""

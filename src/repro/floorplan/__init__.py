@@ -1,0 +1,40 @@
+"""Floorplan geometry: blocks on dies, rasterization, transforms."""
+
+from .floorplan import Block, Floorplan
+from .geometry import Rect, rasterize_fraction
+from .library import (
+    baseline_16tile,
+    floorplan_names,
+    get_floorplan,
+    xeon_e5_2667v4,
+    xeon_phi_7290,
+)
+from .optimize import (
+    TRANSFORMS,
+    ScheduleResult,
+    StackLayoutOptimizer,
+    apply_transform,
+    optimize_stack_layout,
+)
+from .transform import mirror_x, mirror_y, rotate_90, rotate_180
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "Rect",
+    "rasterize_fraction",
+    "baseline_16tile",
+    "xeon_e5_2667v4",
+    "xeon_phi_7290",
+    "get_floorplan",
+    "floorplan_names",
+    "rotate_180",
+    "rotate_90",
+    "mirror_x",
+    "mirror_y",
+    "TRANSFORMS",
+    "apply_transform",
+    "ScheduleResult",
+    "StackLayoutOptimizer",
+    "optimize_stack_layout",
+]

@@ -1,0 +1,171 @@
+"""Floorplan container: named blocks inside a die outline.
+
+A :class:`Floorplan` is the geometric half of a chip description; the
+power half lives in :mod:`repro.power`. The thermal model consumes the
+result of :meth:`Floorplan.power_map`: per-cell power in watts on a
+regular grid, conserving total power exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FloorplanError
+from .geometry import Rect, rasterize_fraction
+
+
+@dataclass(frozen=True)
+class Block:
+    """A named functional block occupying a rectangle of the die.
+
+    Attributes:
+        name: unique identifier within the floorplan ("CORE1", "L2_03"...).
+        rect: the block's footprint.
+        kind: functional class used by the power model to assign power
+            ("core", "l2", "router", "misc" ...).
+    """
+
+    name: str
+    rect: Rect
+    kind: str = "misc"
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A die outline plus a set of non-overlapping blocks.
+
+    Invariants (enforced by :meth:`validate`, called on construction):
+
+    * block names are unique;
+    * every block lies inside the outline;
+    * no two blocks overlap (beyond floating-point tolerance).
+
+    Blocks need not tile the die completely; uncovered area receives no
+    power ("whitespace") but still conducts heat.
+    """
+
+    name: str
+    outline: Rect
+    blocks: tuple[Block, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check floorplan invariants; raise FloorplanError on violation."""
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise FloorplanError(
+                f"floorplan {self.name!r}: duplicate block names {dupes}"
+            )
+        for b in self.blocks:
+            if not b.rect.inside(self.outline):
+                raise FloorplanError(
+                    f"floorplan {self.name!r}: block {b.name!r} extends "
+                    f"outside the die outline"
+                )
+        # Overlap check is O(n^2); floorplans here have tens of blocks.
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1:]:
+                if a.rect.overlaps(b.rect, tol=1e-12):
+                    raise FloorplanError(
+                        f"floorplan {self.name!r}: blocks {a.name!r} and "
+                        f"{b.name!r} overlap"
+                    )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def die_area(self) -> float:
+        """Die outline area in m**2."""
+        return self.outline.area
+
+    @property
+    def block_names(self) -> tuple[str, ...]:
+        """Block names in declaration order."""
+        return tuple(b.name for b in self.blocks)
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise FloorplanError(
+            f"floorplan {self.name!r}: no block named {name!r}"
+        )
+
+    def blocks_of_kind(self, kind: str) -> tuple[Block, ...]:
+        """All blocks whose ``kind`` matches."""
+        return tuple(b for b in self.blocks if b.kind == kind)
+
+    def coverage(self) -> float:
+        """Fraction of the die area covered by blocks, in [0, 1]."""
+        return sum(b.rect.area for b in self.blocks) / self.die_area
+
+    # -- rasterization -----------------------------------------------------
+
+    def power_map(self, block_power_w: dict[str, float], nx: int, ny: int
+                  ) -> np.ndarray:
+        """Rasterize per-block power onto an (ny, nx) grid, watts per cell.
+
+        Args:
+            block_power_w: watts dissipated by each block, keyed by block
+                name. Every key must name an existing block; blocks
+                absent from the dict dissipate zero.
+            nx, ny: grid resolution (x and y cell counts).
+
+        Returns:
+            (ny, nx) array of cell powers. ``result.sum()`` equals
+            ``sum(block_power_w.values())`` to floating-point accuracy.
+        """
+        known = set(self.block_names)
+        unknown = sorted(set(block_power_w) - known)
+        if unknown:
+            raise FloorplanError(
+                f"floorplan {self.name!r}: power assigned to unknown "
+                f"blocks {unknown}"
+            )
+        out = np.zeros((ny, nx))
+        for b in self.blocks:
+            p = block_power_w.get(b.name, 0.0)
+            if p < 0:
+                raise FloorplanError(
+                    f"floorplan {self.name!r}: negative power {p} W for "
+                    f"block {b.name!r}"
+                )
+            if p == 0.0:
+                continue
+            frac = rasterize_fraction(b.rect, self.outline, nx, ny)
+            total = frac.sum()
+            if total <= 0.0:
+                raise FloorplanError(
+                    f"floorplan {self.name!r}: block {b.name!r} does not "
+                    f"intersect the die grid"
+                )
+            # Distribute the block's power over its covered cells in
+            # proportion to covered fraction; dividing by the fraction sum
+            # (not the analytic area ratio) keeps the rasterized total
+            # power exact.
+            out += p * frac / total
+        return out
+
+    def density_map(self, block_power_w: dict[str, float], nx: int, ny: int
+                    ) -> np.ndarray:
+        """Power density per cell, W/m**2, on an (ny, nx) grid."""
+        cell_area = (self.outline.w / nx) * (self.outline.h / ny)
+        return self.power_map(block_power_w, nx, ny) / cell_area
+
+    # -- editing -----------------------------------------------------------
+
+    def with_blocks(self, blocks: tuple[Block, ...]) -> "Floorplan":
+        """A copy with a different block set (re-validated)."""
+        return Floorplan(name=self.name, outline=self.outline, blocks=blocks)
+
+    def renamed(self, name: str) -> "Floorplan":
+        """A copy with a different floorplan name."""
+        return Floorplan(name=name, outline=self.outline, blocks=self.blocks)

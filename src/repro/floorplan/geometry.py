@@ -1,0 +1,137 @@
+"""Planar geometry primitives for floorplans.
+
+A floorplan is a set of axis-aligned rectangles (blocks) inside a die
+outline. The thermal model rasterizes block power onto a regular grid;
+the rasterizer here computes exact overlap areas so power is conserved
+regardless of grid resolution (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FloorplanError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: origin (x, y) and size (w, h), metres.
+
+    The origin is the lower-left corner; x grows rightward, y grows
+    upward (matching the paper's floorplan figures where cores occupy the
+    bottom row).
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise FloorplanError(
+                f"rectangle must have positive size, got w={self.w} h={self.h}"
+            )
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        """Area in m**2."""
+        return self.w * self.h
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centroid (x, y)."""
+        return (self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """True if the point lies inside or on the boundary."""
+        return self.x <= px <= self.x2 and self.y <= py <= self.y2
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Exact overlap area with another rectangle (0.0 if disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        if dx <= 0.0 or dy <= 0.0:
+            return 0.0
+        return dx * dy
+
+    def overlaps(self, other: "Rect", *, tol: float = 1e-15) -> bool:
+        """True if the interiors overlap by more than ``tol`` m**2."""
+        return self.intersection_area(other) > tol
+
+    def inside(self, outline: "Rect", *, tol: float = 1e-12) -> bool:
+        """True if this rectangle lies within ``outline`` (within tol m)."""
+        return (self.x >= outline.x - tol and self.y >= outline.y - tol
+                and self.x2 <= outline.x2 + tol
+                and self.y2 <= outline.y2 + tol)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by (dx, dy)."""
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def rotated_180(self, outline: "Rect") -> "Rect":
+        """The rectangle after rotating the whole die 180 degrees.
+
+        Rotation is about the outline centre, so the result stays inside
+        the same outline. This implements the paper's "flip" (Section
+        4.2): rectangles that are not square cannot be rotated 90
+        degrees, so only 180-degree rotation is offered.
+        """
+        cx = outline.x + outline.w / 2.0
+        cy = outline.y + outline.h / 2.0
+        new_x2 = 2.0 * cx - self.x
+        new_y2 = 2.0 * cy - self.y
+        return Rect(new_x2 - self.w, new_y2 - self.h, self.w, self.h)
+
+    def mirrored_x(self, outline: "Rect") -> "Rect":
+        """Mirror across the outline's vertical centreline."""
+        cx = outline.x + outline.w / 2.0
+        new_x2 = 2.0 * cx - self.x
+        return Rect(new_x2 - self.w, self.y, self.w, self.h)
+
+    def mirrored_y(self, outline: "Rect") -> "Rect":
+        """Mirror across the outline's horizontal centreline."""
+        cy = outline.y + outline.h / 2.0
+        new_y2 = 2.0 * cy - self.y
+        return Rect(self.x, new_y2 - self.h, self.w, self.h)
+
+
+def grid_edges(origin: float, extent: float, n: int) -> np.ndarray:
+    """Cell edge coordinates of a regular 1-D grid: n+1 values."""
+    if n <= 0:
+        raise FloorplanError(f"grid must have at least one cell, got n={n}")
+    return origin + extent * np.arange(n + 1) / n
+
+
+def rasterize_fraction(rect: Rect, outline: Rect, nx: int, ny: int
+                       ) -> np.ndarray:
+    """Fraction of each grid cell covered by ``rect``.
+
+    The outline is divided into ``nx`` by ``ny`` cells. Returns an
+    (ny, nx) array (row = y index from the bottom) whose entries are the
+    covered fraction of each cell, in [0, 1]. The sum times the cell
+    area equals ``rect``'s overlap area with the outline exactly (up to
+    floating-point rounding), which makes power rasterization conservative.
+    """
+    xs = grid_edges(outline.x, outline.w, nx)
+    ys = grid_edges(outline.y, outline.h, ny)
+    # Per-axis overlap of [edge_i, edge_{i+1}] with the rect interval.
+    ox = np.clip(np.minimum(xs[1:], rect.x2) - np.maximum(xs[:-1], rect.x),
+                 0.0, None)
+    oy = np.clip(np.minimum(ys[1:], rect.y2) - np.maximum(ys[:-1], rect.y),
+                 0.0, None)
+    cell_w = outline.w / nx
+    cell_h = outline.h / ny
+    return np.outer(oy / cell_h, ox / cell_w)

@@ -1,0 +1,74 @@
+"""Geometric transforms of whole floorplans.
+
+The paper's Section 4.2 evaluates rotating all chips in even layers of a
+3-D stack by 180 degrees ("flip") so that the high-power-density core row
+of one die overlaps the low-power-density cache area of its neighbours.
+90-degree rotation is rejected there because rectangular dies cannot be
+stacked after it; we enforce the same restriction.
+"""
+
+from __future__ import annotations
+
+from ..errors import FloorplanError
+from .floorplan import Block, Floorplan
+
+
+def rotate_180(fp: Floorplan) -> Floorplan:
+    """Rotate a floorplan 180 degrees about the die centre.
+
+    Block names and kinds are preserved; only the geometry moves. Applying
+    the transform twice returns the original floorplan (a property test
+    checks this).
+    """
+    blocks = tuple(
+        Block(name=b.name, rect=b.rect.rotated_180(fp.outline), kind=b.kind)
+        for b in fp.blocks
+    )
+    return Floorplan(name=f"{fp.name}@180", outline=fp.outline, blocks=blocks)
+
+
+def mirror_x(fp: Floorplan) -> Floorplan:
+    """Mirror a floorplan across its vertical centreline."""
+    blocks = tuple(
+        Block(name=b.name, rect=b.rect.mirrored_x(fp.outline), kind=b.kind)
+        for b in fp.blocks
+    )
+    return Floorplan(name=f"{fp.name}@mx", outline=fp.outline, blocks=blocks)
+
+
+def mirror_y(fp: Floorplan) -> Floorplan:
+    """Mirror a floorplan across its horizontal centreline."""
+    blocks = tuple(
+        Block(name=b.name, rect=b.rect.mirrored_y(fp.outline), kind=b.kind)
+        for b in fp.blocks
+    )
+    return Floorplan(name=f"{fp.name}@my", outline=fp.outline, blocks=blocks)
+
+
+def rotate_90(fp: Floorplan) -> Floorplan:
+    """Rotate 90 degrees — only legal for square dies.
+
+    The paper notes that rectangular chips cannot be stacked after a
+    90-degree rotation; we raise for non-square outlines.
+    """
+    if abs(fp.outline.w - fp.outline.h) > 1e-12:
+        raise FloorplanError(
+            f"floorplan {fp.name!r}: 90-degree rotation requires a square "
+            f"die (w={fp.outline.w}, h={fp.outline.h}); the paper notes "
+            f"rectangular chips cannot be stacked after 90-degree rotation"
+        )
+    ox, oy = fp.outline.x, fp.outline.y
+    w = fp.outline.w
+    blocks = []
+    for b in fp.blocks:
+        # (x, y) -> (ox + (y - oy), oy + (ox + w - (x + bw)))
+        rx = b.rect.x - ox
+        ry = b.rect.y - oy
+        new_x = ox + ry
+        new_y = oy + (w - rx - b.rect.w)
+        from .geometry import Rect
+        blocks.append(Block(name=b.name,
+                            rect=Rect(new_x, new_y, b.rect.h, b.rect.w),
+                            kind=b.kind))
+    return Floorplan(name=f"{fp.name}@90", outline=fp.outline,
+                     blocks=tuple(blocks))

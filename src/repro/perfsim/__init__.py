@@ -1,0 +1,99 @@
+"""CMP performance simulation (the gem5 substitute).
+
+Two tiers share one hardware description (Table 1):
+
+* :class:`FullSystemSimulator` — discrete-event cores + caches +
+  MOESI directory traffic on a contended mesh + contended DRAM;
+* :class:`AnalyticModel` — the closed-form tier the benches use.
+"""
+
+from .analytic import AnalyticBreakdown, AnalyticModel, npb_relative_times
+from .cache import (
+    DEFAULT_HIERARCHY,
+    CacheHierarchyTiming,
+    CacheStats,
+    SetAssociativeCache,
+    SyntheticAddressStream,
+)
+from .coherence import DirectoryModel, MessageLeg, Transaction, TransactionKind
+from .cpu import CoreState, InOrderCore, mix_base_cpi
+from .events import EventQueue
+from .memory import (
+    DEFAULT_DRAM,
+    DramParams,
+    MemoryController,
+    MemorySystem,
+    MEMORY_LATENCY_CYCLES_AT_REF,
+    MEMORY_REFERENCE_CLOCK_HZ,
+)
+from .noc import (
+    DEFAULT_ROUTER,
+    MeshNetwork,
+    MeshTopology,
+    NetworkStats,
+    NodeId,
+    RouterParams,
+    expected_noc_cycles,
+    xy_route,
+)
+from .npb import NPB_ORDER, NPB_PROFILES, get_profile
+from .profiling import MeasuredMpki, measure_mpki, stream_for_profile
+from .scaling import ScalingPoint, parallel_efficiency_at_full, thread_scaling
+from .simulator import FullSystemSimulator, SimulationResult, simulate_npb
+from .trace import ExecutionTrace, TraceEvent, TracingSimulator, traced_run
+from .system import CmpSystem, SystemConfig, config_for_stack
+from .workload import InstructionMix, WorkloadProfile
+
+__all__ = [
+    "AnalyticModel",
+    "AnalyticBreakdown",
+    "npb_relative_times",
+    "SetAssociativeCache",
+    "SyntheticAddressStream",
+    "CacheHierarchyTiming",
+    "CacheStats",
+    "DEFAULT_HIERARCHY",
+    "DirectoryModel",
+    "TransactionKind",
+    "Transaction",
+    "MessageLeg",
+    "InOrderCore",
+    "CoreState",
+    "mix_base_cpi",
+    "EventQueue",
+    "DramParams",
+    "DEFAULT_DRAM",
+    "MemoryController",
+    "MemorySystem",
+    "MEMORY_REFERENCE_CLOCK_HZ",
+    "MEMORY_LATENCY_CYCLES_AT_REF",
+    "MeshTopology",
+    "NodeId",
+    "xy_route",
+    "RouterParams",
+    "DEFAULT_ROUTER",
+    "MeshNetwork",
+    "NetworkStats",
+    "expected_noc_cycles",
+    "NPB_ORDER",
+    "NPB_PROFILES",
+    "get_profile",
+    "MeasuredMpki",
+    "measure_mpki",
+    "stream_for_profile",
+    "ScalingPoint",
+    "thread_scaling",
+    "parallel_efficiency_at_full",
+    "FullSystemSimulator",
+    "SimulationResult",
+    "simulate_npb",
+    "TracingSimulator",
+    "ExecutionTrace",
+    "TraceEvent",
+    "traced_run",
+    "CmpSystem",
+    "SystemConfig",
+    "config_for_stack",
+    "InstructionMix",
+    "WorkloadProfile",
+]

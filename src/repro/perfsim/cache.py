@@ -1,0 +1,204 @@
+"""Cache models: a real set-associative cache and the Table 1 hierarchy.
+
+Two levels of fidelity:
+
+* :class:`SetAssociativeCache` — an address-accurate LRU cache used by
+  the address-stream mode and the cache unit tests (hit/miss behaviour,
+  inclusion, eviction invariants).
+* :class:`CacheHierarchyTiming` — the latency bookkeeping the
+  full-system simulator uses: L1 1 cycle, L2 6 cycles, both scaling
+  with the core clock (Table 1).
+
+The statistical full-system mode drives misses from per-benchmark MPKI
+(see :mod:`repro.perfsim.npb`), which is how the two modes stay
+consistent: the address mode *measures* MPKI that the statistical mode
+*assumes* (checked in the ablation bench).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import KIB, MIB
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Miss count."""
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A classic set-associative, write-allocate LRU cache.
+
+    Args:
+        size_bytes: total capacity.
+        line_bytes: cache line size (Table 1: 64 B).
+        associativity: ways per set.
+        name: label for error messages.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64,
+                 associativity: int = 8, name: str = "cache") -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ConfigurationError(
+                f"{name}: size, line, and associativity must be positive"
+            )
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"line*assoc = {line_bytes * associativity}"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        # Per set: OrderedDict tag -> True, LRU at the front.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _index_tag(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on hit. Allocates on miss."""
+        if address < 0:
+            raise ConfigurationError(f"{self.name}: negative address")
+        idx, tag = self._index_tag(address)
+        s = self._sets[idx]
+        self.stats.accesses += 1
+        if tag in s:
+            s.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        if len(s) >= self.associativity:
+            s.popitem(last=False)
+            self.stats.evictions += 1
+        s[tag] = True
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Lookup without side effects."""
+        idx, tag = self._index_tag(address)
+        return tag in self._sets[idx]
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present; returns True if it was present."""
+        idx, tag = self._index_tag(address)
+        return self._sets[idx].pop(tag, None) is not None
+
+    def flush(self) -> None:
+        """Empty the cache (stats are kept)."""
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(len(s) for s in self._sets)
+
+
+@dataclass(frozen=True)
+class CacheHierarchyTiming:
+    """Latency constants of the Table 1 hierarchy (in core cycles)."""
+
+    l1_cycles: int = 1
+    l2_cycles: int = 6
+    l1_size_bytes: int = 128 * KIB
+    l1i_size_bytes: int = 32 * KIB
+    l2_bank_size_bytes: int = 1 * MIB
+    l2_banks: int = 12
+    line_bytes: int = 64
+    l2_associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.l1_cycles < 1 or self.l2_cycles < 1:
+            raise ConfigurationError("cache latencies must be >= 1 cycle")
+
+    @property
+    def l2_total_bytes(self) -> int:
+        """Aggregate shared-L2 capacity (Table 1: 12 MiB)."""
+        return self.l2_bank_size_bytes * self.l2_banks
+
+    def home_bank(self, address: int) -> int:
+        """Static line-interleaved home-bank mapping."""
+        return (address // self.line_bytes) % self.l2_banks
+
+
+DEFAULT_HIERARCHY = CacheHierarchyTiming()
+"""Table 1 hierarchy: 32/128 KiB L1 (1 cycle), 12 MiB L2 (6 cycles)."""
+
+
+class SyntheticAddressStream:
+    """Address generator that realizes a target locality profile.
+
+    Mixes three access classes: a hot working set (L1-resident), a warm
+    set (L2-resident), and cold/streaming addresses (DRAM). The class
+    probabilities are fitted so the measured MPKI of a
+    :class:`SetAssociativeCache` pair approximates a workload profile's
+    nominal MPKI — the consistency bench does exactly this comparison.
+
+    Args:
+        hot_lines / warm_lines: working-set sizes in cache lines.
+        p_hot / p_warm: probability of touching each set (remainder
+            streams through a cold region).
+        line_bytes: address granularity.
+        seed: RNG seed.
+    """
+
+    def __init__(self, *, hot_lines: int, warm_lines: int, p_hot: float,
+                 p_warm: float, line_bytes: int = 64, seed: int = 0) -> None:
+        if not (0 <= p_hot <= 1 and 0 <= p_warm <= 1
+                and p_hot + p_warm <= 1):
+            raise ConfigurationError(
+                f"class probabilities invalid: p_hot={p_hot}, "
+                f"p_warm={p_warm}"
+            )
+        if hot_lines <= 0 or warm_lines <= 0:
+            raise ConfigurationError("working sets must be positive")
+        self.hot_lines = hot_lines
+        self.warm_lines = warm_lines
+        self.p_hot = p_hot
+        self.p_warm = p_warm
+        self.line_bytes = line_bytes
+        self._rng = np.random.default_rng(seed)
+        self._cold_cursor = 0
+        # Address map: [hot | warm | cold...] in disjoint regions.
+        self._warm_base = hot_lines
+        self._cold_base = hot_lines + warm_lines
+
+    def next_addresses(self, n: int) -> np.ndarray:
+        """Generate the next ``n`` addresses (vectorized)."""
+        u = self._rng.random(n)
+        lines = np.empty(n, dtype=np.int64)
+        hot = u < self.p_hot
+        warm = (~hot) & (u < self.p_hot + self.p_warm)
+        cold = ~(hot | warm)
+        lines[hot] = self._rng.integers(0, self.hot_lines, hot.sum())
+        lines[warm] = self._warm_base + self._rng.integers(
+            0, self.warm_lines, warm.sum())
+        n_cold = int(cold.sum())
+        lines[cold] = (self._cold_base + self._cold_cursor
+                       + np.arange(n_cold))
+        self._cold_cursor += n_cold
+        return lines * self.line_bytes

@@ -1,0 +1,131 @@
+"""MOESI directory-protocol traffic model.
+
+Table 1's baseline keeps L1 caches coherent through a directory
+co-located with the line's home L2 bank; the three message classes
+(request, forward, response) each ride their own virtual channel.
+
+The model enumerates the message legs of each transaction type so the
+NoC sees realistic traffic:
+
+* ``L2_HIT``            — request (1 flit) to home, data response (5).
+* ``L2_HIT_FORWARD``    — request to home, forward (1) to the owning
+  L1 (MOESI's O/M states), data response from owner: the 3-hop path.
+* ``L2_MISS``           — request to home, miss to the memory
+  controller, data from DRAM, response to the requester.
+
+Transaction kinds are sampled per L1 miss from the workload profile's
+miss rates (statistical mode); the address-stream mode derives them
+from actual cache state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import SimulationError
+from .noc.topology import NodeId
+
+
+class TransactionKind(Enum):
+    """Outcome class of an L1 miss."""
+
+    L2_HIT = "l2_hit"
+    L2_HIT_FORWARD = "l2_hit_forward"
+    L2_MISS = "l2_miss"
+
+
+@dataclass(frozen=True)
+class MessageLeg:
+    """One point-to-point message of a transaction."""
+
+    src: NodeId
+    dst: NodeId
+    is_data: bool
+    message_class: str
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A full coherence transaction: ordered legs plus DRAM involvement."""
+
+    kind: TransactionKind
+    legs: tuple[MessageLeg, ...]
+    needs_dram: bool
+
+
+class DirectoryModel:
+    """Samples transactions and lays out their message legs.
+
+    Args:
+        profile_l1_mpki / profile_l2_mpki: the workload's miss rates.
+        sharing_fraction: fraction of L2-hit transactions that must be
+            forwarded to a remote owner.
+        seed: RNG seed for reproducible sampling.
+    """
+
+    def __init__(self, *, l1_mpki: float, l2_mpki: float,
+                 sharing_fraction: float, seed: int = 0) -> None:
+        if l2_mpki > l1_mpki:
+            raise SimulationError("L2 MPKI cannot exceed L1 MPKI")
+        self.l1_mpki = l1_mpki
+        self.l2_mpki = l2_mpki
+        self.sharing_fraction = sharing_fraction
+        self._rng = np.random.default_rng(seed)
+        # Conditional probability that an L1 miss also misses L2.
+        self._p_l2_miss = (l2_mpki / l1_mpki) if l1_mpki > 0 else 0.0
+
+    def sample_kind(self) -> TransactionKind:
+        """Draw the outcome class of one L1 miss."""
+        u = self._rng.random()
+        if u < self._p_l2_miss:
+            return TransactionKind.L2_MISS
+        if self._rng.random() < self.sharing_fraction:
+            return TransactionKind.L2_HIT_FORWARD
+        return TransactionKind.L2_HIT
+
+    def sample_owner(self, candidates: tuple[NodeId, ...],
+                     exclude: NodeId) -> NodeId:
+        """Pick the remote L1 that owns a forwarded line."""
+        pool = [c for c in candidates if c != exclude]
+        if not pool:
+            return exclude
+        return pool[self._rng.integers(0, len(pool))]
+
+    def build_transaction(self, kind: TransactionKind, requester: NodeId,
+                          home: NodeId, owner: NodeId | None,
+                          mem_node: NodeId) -> Transaction:
+        """Lay out the message legs of a transaction.
+
+        Args:
+            requester: tile whose L1 missed.
+            home: home L2 bank / directory tile for the line.
+            owner: owning tile for forwarded transactions.
+            mem_node: tile hosting the memory controller.
+        """
+        req = MessageLeg(requester, home, is_data=False,
+                         message_class="request")
+        if kind is TransactionKind.L2_HIT:
+            legs = (req,
+                    MessageLeg(home, requester, is_data=True,
+                               message_class="response"))
+            return Transaction(kind, legs, needs_dram=False)
+        if kind is TransactionKind.L2_HIT_FORWARD:
+            if owner is None:
+                raise SimulationError("forwarded transaction needs an owner")
+            legs = (req,
+                    MessageLeg(home, owner, is_data=False,
+                               message_class="forward"),
+                    MessageLeg(owner, requester, is_data=True,
+                               message_class="response"))
+            return Transaction(kind, legs, needs_dram=False)
+        # L2 miss: to the directory, then the memory controller, then a
+        # data response back to the requester.
+        legs = (req,
+                MessageLeg(home, mem_node, is_data=False,
+                           message_class="request"),
+                MessageLeg(mem_node, requester, is_data=True,
+                           message_class="response"))
+        return Transaction(kind, legs, needs_dram=True)

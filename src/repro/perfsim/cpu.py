@@ -1,0 +1,130 @@
+"""In-order core model.
+
+The Table 1 baseline is a modest x86-64 in-order core: a blocking data
+cache means every L1 miss exposes its full latency to the pipeline,
+which is the behaviour the analytic tier assumes and the event-driven
+tier reproduces. Between misses, the core retires instructions at its
+mix-dependent base CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from .workload import InstructionMix, WorkloadProfile
+
+#: Per-class base costs in cycles (issue/execute, perfect memory).
+_CLASS_CPI = {
+    "int_alu": 1.0,
+    "fp_alu": 1.4,   # pipelined FP with some dependency stalls
+    "load": 1.0,     # L1 hit folded into the pipeline (Table 1: 1 cycle)
+    "store": 1.0,
+    "branch": 1.2,   # misprediction amortization on a short pipeline
+}
+
+
+def mix_base_cpi(mix: InstructionMix) -> float:
+    """Base CPI implied by an instruction mix (perfect memory)."""
+    return sum(_CLASS_CPI[k] * v for k, v in mix.fractions().items())
+
+
+@dataclass
+class CoreState:
+    """Progress of one hardware thread."""
+
+    thread: int
+    retired: int = 0
+    stall_s: float = 0.0
+    compute_s: float = 0.0
+    barrier_waits: int = 0
+
+
+class InOrderCore:
+    """Executes a workload profile's instruction stream in segments.
+
+    The event-driven simulator advances a core by *segments*: a run of
+    instructions executed back-to-back at the base CPI, terminated by an
+    L1 miss (whose latency the NoC/memory subsystem supplies) or a
+    barrier. Segment lengths are geometrically distributed around the
+    profile's miss spacing — the standard way to drive a statistical
+    core model from MPKI.
+
+    Args:
+        thread: thread index (also the seed offset, so every thread has
+            an independent, reproducible stream).
+        profile: the workload.
+        f_hz: core clock.
+        seed: base RNG seed.
+    """
+
+    def __init__(self, thread: int, profile: WorkloadProfile, f_hz: float,
+                 seed: int = 0) -> None:
+        if f_hz <= 0:
+            raise SimulationError(f"core clock must be positive, got {f_hz}")
+        self.state = CoreState(thread=thread)
+        self.profile = profile
+        self.f_hz = f_hz
+        self._rng = np.random.default_rng(seed * 100_003 + thread)
+        base = mix_base_cpi(profile.mix)
+        # Honour the profile's calibrated base CPI, keeping the mix as
+        # the source of relative class weights.
+        self._cpi = profile.base_cpi if profile.base_cpi else base
+        mpki = profile.l1_mpki
+        self._mean_gap = 1000.0 / mpki if mpki > 0 else float("inf")
+
+    @property
+    def cycle_s(self) -> float:
+        """Seconds per cycle."""
+        return 1.0 / self.f_hz
+
+    def next_segment(self, budget: int) -> tuple[int, float, bool]:
+        """Draw the next execution segment.
+
+        Args:
+            budget: instructions remaining before the next barrier.
+
+        Returns:
+            (instructions, compute_seconds, ends_in_miss): the segment
+            length, the time the core spends computing it, and whether
+            an L1 miss terminates it (False means the barrier arrived
+            first).
+        """
+        if budget <= 0:
+            raise SimulationError("segment requested with empty budget")
+        if self._mean_gap == float("inf"):
+            n = budget
+            ends_in_miss = False
+        else:
+            gap = 1 + int(self._rng.exponential(self._mean_gap))
+            if gap >= budget:
+                n = budget
+                ends_in_miss = False
+            else:
+                n = gap
+                ends_in_miss = True
+        compute_s = n * self._cpi * self.cycle_s
+        self.state.retired += n
+        self.state.compute_s += compute_s
+        return n, compute_s, ends_in_miss
+
+    def record_stall(self, seconds: float) -> None:
+        """Account a memory stall."""
+        self.state.stall_s += seconds
+
+    def barrier_work(self, nominal_kinstr: float, imbalance_cv: float
+                     ) -> int:
+        """Instructions this thread executes before the next barrier.
+
+        Log-normal perturbation with the profile's imbalance CV models
+        OpenMP loop imbalance; the slowest thread gates the barrier.
+        """
+        nominal = nominal_kinstr * 1000.0
+        if imbalance_cv <= 0:
+            return max(1, int(nominal))
+        sigma = float(np.sqrt(np.log(1.0 + imbalance_cv ** 2)))
+        mu = -0.5 * sigma * sigma  # unit mean
+        factor = float(self._rng.lognormal(mu, sigma))
+        return max(1, int(nominal * factor))

@@ -1,0 +1,99 @@
+"""Main-memory model.
+
+Table 1 quotes a 160-cycle memory latency for the baseline CMP. Cycles
+must be anchored to a clock to become physical time; we anchor at the
+VFS ladder floor (1.2 GHz, the only frequency every configuration in
+the paper can run), giving ~133 ns — consistent with the DDR2-era
+kernel/toolchain the paper simulates (gem5, Linux 2.6.22). The
+distinction matters: on-chip latencies (L1, L2, NoC) are clocked and
+shrink as frequency rises, while DRAM is fixed in nanoseconds, so a
+higher-clocked chip waits *more cycles* for memory. That fixed-time
+behaviour is what differentiates the NPB programs across cooling
+options in Figs. 10-13.
+
+Bandwidth contention is modelled per controller as a serially-reusable
+resource (like a NoC link): each line fill occupies the controller for
+its service time, so heavily missing workloads see queueing on top of
+idle latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+MEMORY_REFERENCE_CLOCK_HZ = 1.2e9
+"""Clock at which Table 1's 160-cycle figure is anchored (the VFS
+ladder floor; see the module docstring)."""
+
+MEMORY_LATENCY_CYCLES_AT_REF = 160
+"""Table 1 memory latency in cycles at the reference clock."""
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """Main-memory timing constants.
+
+    Attributes:
+        idle_latency_s: unloaded access latency (Table 1: 160 cycles at
+            2 GHz = 80 ns).
+        service_time_s: controller occupancy per 64 B line fill; sets
+            the per-controller bandwidth ceiling (64 B / 5 ns = 12.8
+            GB/s, a DDR4-1600 channel).
+        num_controllers: memory controllers on the bottom tier.
+    """
+
+    idle_latency_s: float = MEMORY_LATENCY_CYCLES_AT_REF / MEMORY_REFERENCE_CLOCK_HZ
+    service_time_s: float = 5.0e-9
+    num_controllers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.idle_latency_s <= 0 or self.service_time_s <= 0:
+            raise ConfigurationError("DRAM timings must be positive")
+        if self.num_controllers < 1:
+            raise ConfigurationError("need at least one memory controller")
+
+
+DEFAULT_DRAM = DramParams()
+
+
+class MemoryController:
+    """One DRAM channel with FCFS occupancy-based queueing."""
+
+    def __init__(self, params: DramParams = DEFAULT_DRAM) -> None:
+        self.params = params
+        self._free_at = 0.0
+        self.requests = 0
+        self.total_wait_s = 0.0
+
+    def access(self, now_s: float) -> float:
+        """Issue a line fill at ``now_s``; returns its completion time."""
+        start = max(now_s, self._free_at)
+        self.total_wait_s += start - now_s
+        self._free_at = start + self.params.service_time_s
+        return start + self.params.idle_latency_s
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Average queueing delay per request."""
+        return self.total_wait_s / self.requests if self.requests else 0.0
+
+
+class MemorySystem:
+    """Address-interleaved collection of controllers."""
+
+    def __init__(self, params: DramParams = DEFAULT_DRAM) -> None:
+        self.params = params
+        self.controllers = [MemoryController(params)
+                            for _ in range(params.num_controllers)]
+
+    def access(self, now_s: float, address: int) -> float:
+        """Route a fill to its controller; returns completion time."""
+        ctrl = self.controllers[(address >> 6) % len(self.controllers)]
+        ctrl.requests += 1
+        return ctrl.access(now_s)
+
+    def controller_for(self, address: int) -> int:
+        """Controller index serving an address."""
+        return (address >> 6) % len(self.controllers)

@@ -1,0 +1,29 @@
+"""Network-on-chip: mesh topology, XY routing, router timing, contention."""
+
+from .loadsweep import (
+    LoadPoint,
+    load_latency_curve,
+    measure_load_point,
+    saturation_load,
+)
+from .network import MeshNetwork, NetworkStats, expected_noc_cycles
+from .router import DEFAULT_ROUTER, RouterParams
+from .routing import links_of, vc_for_class, xy_route
+from .topology import MeshTopology, NodeId
+
+__all__ = [
+    "MeshTopology",
+    "NodeId",
+    "xy_route",
+    "links_of",
+    "vc_for_class",
+    "RouterParams",
+    "DEFAULT_ROUTER",
+    "MeshNetwork",
+    "NetworkStats",
+    "expected_noc_cycles",
+    "LoadPoint",
+    "measure_load_point",
+    "load_latency_curve",
+    "saturation_load",
+]

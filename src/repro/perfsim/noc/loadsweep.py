@@ -1,0 +1,145 @@
+"""NoC load-latency characterization (extension).
+
+The classic network evaluation the Table 1 mesh deserves: inject
+uniform-random traffic at a swept offered load and record the mean
+packet latency. The resulting hockey-stick curve locates the saturation
+throughput, which bounds how much coherence traffic the full-system
+simulator can push before queueing dominates — context for the NoC
+terms in the analytic performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import SimulationError
+from .network import MeshNetwork
+from .router import DEFAULT_ROUTER, RouterParams
+from .topology import MeshTopology
+
+
+TRAFFIC_PATTERNS = ("uniform", "transpose", "tornado", "neighbor")
+"""Synthetic patterns: uniform random; matrix-transpose (x,y)->(y,x);
+tornado (half-width offset along x — the classic adversarial pattern
+for dimension-order routing); nearest-neighbor (+1 in x)."""
+
+
+def pattern_destination(pattern: str, src, topo: MeshTopology,
+                        rng: np.random.Generator):
+    """Destination node of one packet under a traffic pattern."""
+    from .topology import NodeId
+    if pattern == "uniform":
+        nodes = topo.all_nodes()
+        j = int(rng.integers(0, len(nodes)))
+        return nodes[j]
+    if pattern == "transpose":
+        return NodeId(src.chip, src.y % topo.width, src.x % topo.height)
+    if pattern == "tornado":
+        return NodeId(src.chip, (src.x + topo.width // 2) % topo.width,
+                      src.y)
+    if pattern == "neighbor":
+        return NodeId(src.chip, (src.x + 1) % topo.width, src.y)
+    raise SimulationError(
+        f"unknown traffic pattern {pattern!r}; known: {TRAFFIC_PATTERNS}"
+    )
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point of the load-latency curve.
+
+    Attributes:
+        offered_load: injection probability per node per cycle.
+        mean_latency_cycles: average end-to-end packet latency.
+        mean_queue_cycles: average time spent waiting for links.
+        delivered: packets delivered during the measurement window.
+    """
+
+    offered_load: float
+    mean_latency_cycles: float
+    mean_queue_cycles: float
+    delivered: int
+
+
+def measure_load_point(topo: MeshTopology, offered_load: float, *,
+                       params: RouterParams = DEFAULT_ROUTER,
+                       window_cycles: int = 2000, data_fraction: float = 0.5,
+                       pattern: str = "uniform",
+                       seed: int = 0) -> LoadPoint:
+    """Mean latency under synthetic traffic at one offered load.
+
+    Packets are injected per (node, cycle) with probability
+    ``offered_load``; destinations follow the traffic ``pattern``; sizes
+    drawn control/data with ``data_fraction``.
+    """
+    if not (0.0 < offered_load <= 1.0):
+        raise SimulationError(
+            f"offered load must be in (0, 1], got {offered_load}"
+        )
+    if window_cycles < 1:
+        raise SimulationError("need a positive measurement window")
+    rng = np.random.default_rng(seed)
+    net = MeshNetwork(topo, params)
+    nodes = topo.all_nodes()
+    n = len(nodes)
+    for cycle in range(window_cycles):
+        inject = rng.random(n) < offered_load
+        for i in np.nonzero(inject)[0]:
+            src = nodes[int(i)]
+            dst = pattern_destination(pattern, src, topo, rng)
+            if dst == src:
+                continue
+            net.deliver(src, dst,
+                        is_data=bool(rng.random() < data_fraction),
+                        depart_cycle=float(cycle))
+    s = net.stats
+    return LoadPoint(
+        offered_load=offered_load,
+        mean_latency_cycles=s.mean_latency_cycles,
+        mean_queue_cycles=s.mean_queue_cycles,
+        delivered=s.packets,
+    )
+
+
+def load_latency_curve(topo: MeshTopology,
+                       loads: tuple[float, ...] = (
+                           0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30),
+                       *, params: RouterParams = DEFAULT_ROUTER,
+                       window_cycles: int = 2000, seed: int = 0
+                       ) -> tuple[LoadPoint, ...]:
+    """The full hockey-stick curve."""
+    return tuple(
+        measure_load_point(topo, load, params=params,
+                           window_cycles=window_cycles, seed=seed)
+        for load in loads
+    )
+
+
+def saturation_load(topo: MeshTopology, *,
+                    params: RouterParams = DEFAULT_ROUTER,
+                    latency_multiple: float = 3.0,
+                    window_cycles: int = 1500, seed: int = 0) -> float:
+    """Offered load at which mean latency hits a multiple of zero-load.
+
+    Bisects between a light and a heavy load; the conventional
+    saturation definition (latency = 3x zero-load) by default.
+    """
+    zero = measure_load_point(topo, 0.005, params=params,
+                              window_cycles=window_cycles, seed=seed)
+    target = latency_multiple * zero.mean_latency_cycles
+    lo, hi = 0.005, 0.9
+    if measure_load_point(topo, hi, params=params,
+                          window_cycles=window_cycles,
+                          seed=seed).mean_latency_cycles < target:
+        return hi
+    for _ in range(12):
+        mid = 0.5 * (lo + hi)
+        point = measure_load_point(topo, mid, params=params,
+                                   window_cycles=window_cycles, seed=seed)
+        if point.mean_latency_cycles < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

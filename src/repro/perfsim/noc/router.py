@@ -1,0 +1,75 @@
+"""Router timing model: the Table 1 pipeline.
+
+Table 1 specifies a three-stage pipeline — [RC][VSA][ST/LT] (route
+computation; virtual-channel + switch allocation; switch and link
+traversal) — with 3 virtual channels of 5 flits each, 1-flit control and
+5-flit data packets.
+
+The cycle-approximate model charges each hop the pipeline depth plus
+wormhole serialization at the destination, and resolves contention at
+packet granularity: each output link is a resource that a packet holds
+for ``flits`` cycles. That captures the first-order queueing the paper's
+NoC contributes to memory latency without simulating individual flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RouterParams:
+    """Timing constants of one router (Table 1 defaults).
+
+    Attributes:
+        pipeline_stages: cycles a head flit spends per router ([RC],
+            [VSA], [ST/LT] = 3).
+        num_vcs: virtual channels per port (one per message class).
+        vc_buffer_flits: buffer depth per VC.
+        control_flits / data_flits: packet sizes.
+        link_cycles: additional cycles per link traversal beyond ST/LT
+            (0 for the 2-D mesh; vertical TSV/TCI links use 1).
+    """
+
+    pipeline_stages: int = 3
+    num_vcs: int = 3
+    vc_buffer_flits: int = 5
+    control_flits: int = 1
+    data_flits: int = 5
+    link_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pipeline_stages < 1:
+            raise ConfigurationError("router needs at least one stage")
+        if self.num_vcs < 1 or self.vc_buffer_flits < 1:
+            raise ConfigurationError("router needs VCs with buffers")
+        if self.control_flits < 1 or self.data_flits < 1:
+            raise ConfigurationError("packets need at least one flit")
+
+    def packet_flits(self, is_data: bool) -> int:
+        """Flit count for a control or data packet."""
+        return self.data_flits if is_data else self.control_flits
+
+    def zero_load_cycles(self, hops: int, flits: int) -> int:
+        """Uncontended latency of a packet over ``hops`` links.
+
+        Head flit: pipeline_stages per router plus link cycles; tail
+        adds (flits - 1) serialization cycles once at the end (wormhole:
+        body flits stream behind the head).
+        """
+        if hops < 0:
+            raise ConfigurationError(f"negative hop count {hops}")
+        if hops == 0:
+            return 0
+        per_hop = self.pipeline_stages + self.link_cycles
+        return hops * per_hop + (flits - 1)
+
+    def occupancy_cycles(self, flits: int) -> int:
+        """Cycles a packet holds one output link (serialization)."""
+        return flits
+
+
+DEFAULT_ROUTER = RouterParams()
+"""Table 1 router: [RC][VSA][ST/LT], 3 VCs x 5 flits, 1/5-flit packets."""

@@ -1,0 +1,88 @@
+"""On-chip network topology: the Table 1 4x4 mesh, stacked in 3-D.
+
+Each chip carries a 4x4 mesh of routers (one per tile). In a 3-D stack,
+vertically adjacent routers are joined by through-silicon/inductive
+links (the paper neglects their power; we model their latency as one
+cycle per tier). Node addresses are (chip, x, y).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """Address of one router/tile: chip index and mesh coordinates."""
+
+    chip: int
+    x: int
+    y: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"c{self.chip}({self.x},{self.y})"
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A stack of ``chips`` identical ``width`` x ``height`` meshes.
+
+    Attributes:
+        width, height: mesh dimensions (Table 1: 4x4).
+        chips: number of stacked tiers.
+    """
+
+    width: int = 4
+    height: int = 4
+    chips: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1 or self.chips < 1:
+            raise ConfigurationError(
+                f"mesh dimensions must be positive, got "
+                f"{self.width}x{self.height}x{self.chips}"
+            )
+
+    @property
+    def nodes_per_chip(self) -> int:
+        """Routers per tier."""
+        return self.width * self.height
+
+    @property
+    def num_nodes(self) -> int:
+        """Total routers in the stack."""
+        return self.nodes_per_chip * self.chips
+
+    def node(self, chip: int, x: int, y: int) -> NodeId:
+        """Validated node constructor."""
+        if not (0 <= chip < self.chips and 0 <= x < self.width
+                and 0 <= y < self.height):
+            raise ConfigurationError(
+                f"node c{chip}({x},{y}) outside mesh "
+                f"{self.width}x{self.height}x{self.chips}"
+            )
+        return NodeId(chip, x, y)
+
+    def all_nodes(self) -> tuple[NodeId, ...]:
+        """Every node, chip-major then row-major."""
+        return tuple(
+            NodeId(c, x, y)
+            for c in range(self.chips)
+            for y in range(self.height)
+            for x in range(self.width)
+        )
+
+    def tile_index(self, node: NodeId) -> int:
+        """Flat per-chip tile index (row-major)."""
+        return node.y * self.width + node.x
+
+    def hop_distance(self, a: NodeId, b: NodeId) -> int:
+        """Hops along XY-then-Z dimension-order routing."""
+        return (abs(a.x - b.x) + abs(a.y - b.y) + abs(a.chip - b.chip))
+
+    def contains(self, node: NodeId) -> bool:
+        """True if the node lies in this topology."""
+        return (0 <= node.chip < self.chips and 0 <= node.x < self.width
+                and 0 <= node.y < self.height)

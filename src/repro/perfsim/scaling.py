@@ -1,0 +1,77 @@
+"""Thread-scaling study (extension).
+
+The paper fixes the thread count at one-per-core (24/32). This module
+asks the adjacent question a reviewer would: how do the NPB programs
+scale with threads on this system, and is one-thread-per-core actually
+the right operating point? Speedup is limited by three effects the
+models already carry — serial memory bandwidth, barrier imbalance
+(extreme-value growth with N), and NoC path lengthening — so the
+scaling curves come out Amdahl-shaped without any new fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .analytic import AnalyticModel
+from .npb import get_profile
+from .system import SystemConfig
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (threads, speedup) sample."""
+
+    threads: int
+    time_s: float
+    speedup: float
+    efficiency: float
+
+
+def thread_scaling(benchmark: str, n_chips: int, f_hz: float,
+                   thread_counts: tuple[int, ...] | None = None
+                   ) -> tuple[ScalingPoint, ...]:
+    """Speedup vs thread count at a fixed clock.
+
+    Parallel time is modelled as the per-thread instruction share
+    executed at the analytic per-instruction rate for that thread count
+    (which already includes the bandwidth and imbalance penalties that
+    grow with N).
+    """
+    cfg = SystemConfig(n_chips=n_chips)
+    counts = (thread_counts if thread_counts is not None
+              else tuple(sorted({1, 2, 4, 8, cfg.total_cores // 2,
+                                 cfg.total_cores}
+                                - {0})))
+    profile = get_profile(benchmark)
+    total_instructions = profile.instructions_per_thread * cfg.total_cores
+    points = []
+    base_threads: int | None = None
+    base_time = 0.0
+    for n in sorted(counts):
+        if n < 1 or n > cfg.total_cores:
+            raise SimulationError(
+                f"thread count {n} invalid for {cfg.total_cores} cores"
+            )
+        model = AnalyticModel(cfg, threads=n)
+        per_instr = model.breakdown(profile, f_hz).seconds_per_instruction
+        time_s = (total_instructions / n) * per_instr
+        if base_threads is None:
+            base_threads, base_time = n, time_s
+        # Speedup relative to the smallest measured count, rescaled so
+        # perfect scaling reads speedup == n.
+        speedup = (base_time / time_s) * base_threads
+        points.append(ScalingPoint(
+            threads=n, time_s=time_s,
+            speedup=speedup,
+            efficiency=speedup / n,
+        ))
+    return tuple(points)
+
+
+def parallel_efficiency_at_full(benchmark: str, n_chips: int,
+                                f_hz: float) -> float:
+    """Efficiency at one thread per core (the paper's operating point)."""
+    points = thread_scaling(benchmark, n_chips, f_hz)
+    return points[-1].efficiency

@@ -1,0 +1,217 @@
+"""Full-system discrete-event simulation driver (the gem5 substitute).
+
+Each hardware thread alternates compute segments (priced by the core
+model) with memory stalls (priced by the coherence protocol, the
+contended NoC, and the contended DRAM controllers) and OpenMP barriers
+(the slowest thread gates everyone). The only configuration difference
+between cooling options is the core clock, exactly as in the paper's
+experiment, so relative execution times isolate the frequency effect —
+including the sub-linear scaling caused by fixed-nanosecond DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .coherence import DirectoryModel, TransactionKind
+from .cpu import InOrderCore
+from .events import EventQueue
+from .npb import get_profile
+from .system import CmpSystem, SystemConfig
+from .workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one full-system run.
+
+    Attributes:
+        exec_time_s: wall-clock time of the parallel region.
+        instructions: total retired instructions.
+        compute_s / stall_s: aggregate core-seconds by category.
+        noc_packets: packets the mesh carried.
+        noc_mean_latency_cycles: average packet latency.
+        dram_requests: line fills served.
+        barriers: barrier episodes executed.
+    """
+
+    exec_time_s: float
+    instructions: int
+    compute_s: float
+    stall_s: float
+    noc_packets: int
+    noc_mean_latency_cycles: float
+    dram_requests: int
+    barriers: int
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Share of core time spent stalled — the beta of the analytic tier."""
+        total = self.compute_s + self.stall_s
+        return self.stall_s / total if total > 0 else 0.0
+
+
+class FullSystemSimulator:
+    """Simulates one (system, workload, frequency) triple.
+
+    Args:
+        config: hardware configuration.
+        profile: workload profile (or name via :func:`simulate_npb`).
+        f_hz: core clock.
+        threads: thread count; defaults to all cores (the paper runs
+            24/32 threads on 6/8-chip stacks).
+        seed: reproducibility seed.
+    """
+
+    def __init__(self, config: SystemConfig, profile: WorkloadProfile,
+                 f_hz: float, *, threads: int | None = None,
+                 seed: int = 0,
+                 instructions_per_thread: int | None = None) -> None:
+        if instructions_per_thread is not None:
+            from dataclasses import replace
+            profile = replace(profile,
+                              instructions_per_thread=instructions_per_thread)
+        self.system = CmpSystem(config)
+        self.profile = profile
+        self.f_hz = f_hz
+        self.threads = threads if threads is not None else config.total_cores
+        if self.threads < 1 or self.threads > config.total_cores:
+            raise SimulationError(
+                f"thread count {self.threads} invalid for "
+                f"{config.total_cores} cores"
+            )
+        self.seed = seed
+        self._queue = EventQueue()
+        self._cores = [InOrderCore(t, profile, f_hz, seed)
+                       for t in range(self.threads)]
+        self._dir = DirectoryModel(
+            l1_mpki=profile.l1_mpki,
+            l2_mpki=profile.l2_mpki,
+            sharing_fraction=profile.sharing_fraction,
+            seed=seed + 7,
+        )
+        import numpy as np
+        self._addr_rng = np.random.default_rng(seed + 13)
+        # OpenMP structure: every thread passes the same barrier episodes
+        # (parallel-for rounds); per-episode work is perturbed per thread
+        # by the profile's imbalance CV.
+        self._episodes = max(1, round(profile.instructions_per_thread
+                                      / (profile.barrier_interval_kinstr
+                                         * 1000.0)))
+        self._episode_of = [0] * self.threads
+        self._barrier_budget = [0] * self.threads
+        self._arrived = 0
+        self._latest_arrival = 0.0
+        self._barriers = 0
+        self._done = 0
+        self._finish_time = 0.0
+
+    # -- memory path ---------------------------------------------------------
+
+    def _miss_latency(self, thread: int, now_s: float) -> float:
+        """Completion time of one L1 miss issued at ``now_s``."""
+        sys = self.system
+        cyc = 1.0 / self.f_hz
+        address = int(self._addr_rng.integers(0, 1 << 40)) << 6
+        requester = sys.core_node(thread)
+        home = sys.home_for(address)
+        kind = self._dir.sample_kind()
+        owner = None
+        if kind is TransactionKind.L2_HIT_FORWARD:
+            owner = self._dir.sample_owner(sys.core_nodes, requester)
+        txn = self._dir.build_transaction(
+            kind, requester, home, owner, sys.mem_node_for(address))
+        t_cycles = now_s / cyc
+        # L2 lookup at the home bank.
+        t_cycles += self.system.config.hierarchy.l2_cycles
+        for i, leg in enumerate(txn.legs):
+            t_cycles = sys.network.deliver(
+                leg.src, leg.dst, is_data=leg.is_data,
+                depart_cycle=t_cycles)
+            if txn.needs_dram and i == 1:
+                # The request reached the memory controller; the DRAM
+                # access happens in wall-clock time, not cycles.
+                t_s = sys.memory.access(t_cycles * cyc, address)
+                t_cycles = t_s / cyc
+        return t_cycles * cyc
+
+    # -- thread progression ----------------------------------------------------
+
+    def _resume(self, thread: int) -> None:
+        now = self._queue.now
+        core = self._cores[thread]
+        if self._episode_of[thread] >= self._episodes:
+            self._done += 1
+            self._finish_time = max(self._finish_time, now)
+            return
+        if self._barrier_budget[thread] <= 0:
+            # Draw this episode's perturbed work quantum.
+            self._barrier_budget[thread] = core.barrier_work(
+                self.profile.barrier_interval_kinstr,
+                self.profile.imbalance_cv)
+        n, compute_s, ends_in_miss = core.next_segment(
+            self._barrier_budget[thread])
+        self._barrier_budget[thread] -= n
+        t_after = now + compute_s
+        if ends_in_miss:
+            done_at = self._miss_latency(thread, t_after)
+            core.record_stall(done_at - t_after)
+            self._queue.schedule_at(done_at,
+                                    lambda th=thread: self._resume(th))
+            return
+        # Episode finished: meet the others at the barrier.
+        self._queue.schedule_at(t_after,
+                                lambda th=thread: self._at_barrier(th))
+
+    def _at_barrier(self, thread: int) -> None:
+        now = self._queue.now
+        self._cores[thread].state.barrier_waits += 1
+        self._episode_of[thread] += 1
+        self._arrived += 1
+        self._latest_arrival = max(self._latest_arrival, now)
+        if self._arrived < self.threads:
+            return
+        # Everyone arrived: release all threads at the latest arrival.
+        release = self._latest_arrival
+        self._arrived = 0
+        self._latest_arrival = 0.0
+        self._barriers += 1
+        for t in range(self.threads):
+            self._queue.schedule_at(release,
+                                    lambda th=t: self._resume(th))
+
+    # -- run -------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the workload to completion."""
+        for t in range(self.threads):
+            self._queue.schedule(0.0, lambda th=t: self._resume(th))
+        self._queue.run()
+        if self._done != self.threads:
+            raise SimulationError(
+                f"simulation ended with {self._done}/{self.threads} "
+                f"threads finished"
+            )
+        stats = self.system.network.stats
+        return SimulationResult(
+            exec_time_s=self._finish_time,
+            instructions=sum(c.state.retired for c in self._cores),
+            compute_s=sum(c.state.compute_s for c in self._cores),
+            stall_s=sum(c.state.stall_s for c in self._cores),
+            noc_packets=stats.packets,
+            noc_mean_latency_cycles=stats.mean_latency_cycles,
+            dram_requests=sum(c.requests
+                              for c in self.system.memory.controllers),
+            barriers=self._barriers,
+        )
+
+
+def simulate_npb(benchmark: str, config: SystemConfig, f_hz: float, *,
+                 threads: int | None = None, seed: int = 0,
+                 instructions_per_thread: int | None = None
+                 ) -> SimulationResult:
+    """Run one NPB program on a system at a clock frequency."""
+    return FullSystemSimulator(
+        config, get_profile(benchmark), f_hz, threads=threads, seed=seed,
+        instructions_per_thread=instructions_per_thread).run()

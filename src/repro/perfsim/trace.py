@@ -1,0 +1,141 @@
+"""Execution tracing for the full-system simulator (extension).
+
+Wraps :class:`~repro.perfsim.simulator.FullSystemSimulator` with a
+recording layer: per-thread timeline events (compute segments, memory
+stalls, barrier waits) that can be queried, summarized per category, or
+rendered as a text Gantt chart — the "what is my simulation doing"
+tooling a gem5 substitute owes its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from .simulator import FullSystemSimulator, SimulationResult
+from .system import SystemConfig
+from .workload import WorkloadProfile
+
+EVENT_KINDS = ("compute", "stall", "barrier")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One per-thread interval."""
+
+    thread: int
+    kind: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Interval length."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ExecutionTrace:
+    """Recorded timeline of one simulation."""
+
+    threads: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def of_thread(self, thread: int) -> list[TraceEvent]:
+        """Events of one thread, time-ordered."""
+        return sorted((e for e in self.events if e.thread == thread),
+                      key=lambda e: e.start_s)
+
+    def time_by_kind(self, thread: int | None = None) -> dict[str, float]:
+        """Aggregate seconds per event kind (one thread or all)."""
+        out = {k: 0.0 for k in EVENT_KINDS}
+        for e in self.events:
+            if thread is None or e.thread == thread:
+                out[e.kind] += e.duration_s
+        return out
+
+    def end_s(self) -> float:
+        """Last event end."""
+        return max((e.end_s for e in self.events), default=0.0)
+
+    def gantt(self, *, width: int = 72, max_threads: int = 8) -> str:
+        """Text Gantt chart: one row per thread, c/s/b per time bucket.
+
+        Each column is a time bucket labelled by the kind that consumed
+        most of it ('c' compute, 's' stall, 'b' barrier, '.' idle).
+        """
+        horizon = self.end_s()
+        if horizon <= 0:
+            return "(empty trace)"
+        dt = horizon / width
+        rows = []
+        for t in range(min(self.threads, max_threads)):
+            buckets = [{k: 0.0 for k in EVENT_KINDS}
+                       for _ in range(width)]
+            for e in self.of_thread(t):
+                b0 = min(int(e.start_s / dt), width - 1)
+                b1 = min(int(e.end_s / dt), width - 1)
+                for b in range(b0, b1 + 1):
+                    lo = max(e.start_s, b * dt)
+                    hi = min(e.end_s, (b + 1) * dt)
+                    if hi > lo:
+                        buckets[b][e.kind] += hi - lo
+            line = "".join(
+                "." if all(v == 0 for v in bucket.values())
+                else max(bucket, key=bucket.get)[0]
+                for bucket in buckets
+            )
+            rows.append(f"t{t:02d} |{line}|")
+        return "\n".join(rows)
+
+
+class TracingSimulator(FullSystemSimulator):
+    """A :class:`FullSystemSimulator` that records its timeline."""
+
+    def __init__(self, config: SystemConfig, profile: WorkloadProfile,
+                 f_hz: float, **kwargs) -> None:
+        super().__init__(config, profile, f_hz, **kwargs)
+        self.trace = ExecutionTrace(threads=self.threads)
+        self._barrier_enter: dict[int, float] = {}
+
+    # -- hooks into the parent's progression ---------------------------------
+
+    def _resume(self, thread: int) -> None:
+        if thread in self._barrier_enter:
+            start = self._barrier_enter.pop(thread)
+            if self._queue.now > start:
+                self.trace.events.append(TraceEvent(
+                    thread, "barrier", start, self._queue.now))
+        start = self._queue.now
+        before_compute = self._cores[thread].state.compute_s
+        before_stall = self._cores[thread].state.stall_s
+        super()._resume(thread)
+        core = self._cores[thread]
+        d_compute = core.state.compute_s - before_compute
+        d_stall = core.state.stall_s - before_stall
+        if d_compute > 0:
+            self.trace.events.append(TraceEvent(
+                thread, "compute", start, start + d_compute))
+        if d_stall > 0:
+            self.trace.events.append(TraceEvent(
+                thread, "stall", start + d_compute,
+                start + d_compute + d_stall))
+
+    def _at_barrier(self, thread: int) -> None:
+        self._barrier_enter[thread] = self._queue.now
+        super()._at_barrier(thread)
+
+
+def traced_run(benchmark: str, config: SystemConfig, f_hz: float, *,
+               threads: int | None = None, seed: int = 0,
+               instructions_per_thread: int | None = None
+               ) -> tuple[SimulationResult, ExecutionTrace]:
+    """Run one NPB program with tracing; returns (result, trace)."""
+    from .npb import get_profile
+    sim = TracingSimulator(config, get_profile(benchmark), f_hz,
+                           threads=threads, seed=seed,
+                           instructions_per_thread=instructions_per_thread)
+    result = sim.run()
+    if not sim.trace.events:
+        raise SimulationError("trace recorded no events")
+    return result, sim.trace

@@ -1,0 +1,138 @@
+"""Synthetic workload characterization.
+
+gem5 executed the real NAS Parallel Benchmarks; offline we replace each
+program with a behavioural profile — instruction mix, cache miss rates,
+coherence intensity, synchronization structure — that produces the same
+*frequency-scaling* behaviour, which is the property the paper's
+evaluation exercises (all cooling options run identical binaries; only
+the clock differs).
+
+The profile numbers live in :mod:`repro.perfsim.npb`; this module
+defines the schema and the derived quantities both simulator tiers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Dynamic instruction mix fractions (must sum to 1)."""
+
+    int_alu: float
+    fp_alu: float
+    load: float
+    store: float
+    branch: float
+
+    def __post_init__(self) -> None:
+        total = (self.int_alu + self.fp_alu + self.load + self.store
+                 + self.branch)
+        if abs(total - 1.0) > 1e-9:
+            raise SimulationError(
+                f"instruction mix must sum to 1, got {total}"
+            )
+        for name, v in self.fractions().items():
+            if v < 0:
+                raise SimulationError(
+                    f"instruction mix fraction {name} negative: {v}"
+                )
+
+    def fractions(self) -> dict[str, float]:
+        """Mix as a dict."""
+        return {
+            "int_alu": self.int_alu,
+            "fp_alu": self.fp_alu,
+            "load": self.load,
+            "store": self.store,
+            "branch": self.branch,
+        }
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that access memory."""
+        return self.load + self.store
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Behavioural profile of one parallel program.
+
+    Attributes:
+        name: benchmark name ("cg", "ep", ...).
+        mix: dynamic instruction mix.
+        base_cpi: pipeline CPI with a perfect memory system (captures
+            issue width, FP latency, branch effects).
+        l1_mpki: L1 data misses per kilo-instruction (served by L2).
+        l2_mpki: L2 misses per kilo-instruction (served by DRAM,
+            traversing the NoC to the directory and memory controller).
+        sharing_fraction: fraction of L2 misses that hit remotely-owned
+            lines and take the 3-hop directory path (MOESI forwarding).
+        barrier_interval_kinstr: kilo-instructions between OpenMP
+            barriers (drives synchronization overhead and imbalance).
+        imbalance_cv: coefficient of variation of per-thread work
+            between barriers.
+        instructions_per_thread: dynamic instructions each thread
+            executes (scaled-down working budget; relative times are
+            insensitive to it once >> barrier interval).
+    """
+
+    name: str
+    mix: InstructionMix
+    base_cpi: float
+    l1_mpki: float
+    l2_mpki: float
+    sharing_fraction: float
+    barrier_interval_kinstr: float
+    imbalance_cv: float
+    instructions_per_thread: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise SimulationError(
+                f"{self.name}: base CPI must be positive, got {self.base_cpi}"
+            )
+        if self.l1_mpki < 0 or self.l2_mpki < 0:
+            raise SimulationError(
+                f"{self.name}: MPKI values must be non-negative"
+            )
+        if self.l2_mpki > self.l1_mpki:
+            raise SimulationError(
+                f"{self.name}: L2 MPKI ({self.l2_mpki}) cannot exceed "
+                f"L1 MPKI ({self.l1_mpki}); L2 misses are a subset"
+            )
+        if not (0.0 <= self.sharing_fraction <= 1.0):
+            raise SimulationError(
+                f"{self.name}: sharing fraction must be in [0, 1]"
+            )
+        if self.barrier_interval_kinstr <= 0:
+            raise SimulationError(
+                f"{self.name}: barrier interval must be positive"
+            )
+        if self.instructions_per_thread <= 0:
+            raise SimulationError(
+                f"{self.name}: instruction budget must be positive"
+            )
+
+    def memory_stall_seconds_per_instr(self, l2_hit_s: float,
+                                       dram_s: float,
+                                       noc_2hop_s: float,
+                                       noc_3hop_s: float) -> float:
+        """Average memory stall time per instruction, seconds.
+
+        Combines the L1-miss/L2-hit path, the DRAM path, and the
+        directory-forwarding path weighted by the profile's miss rates.
+        Used by the analytic tier; the event-driven tier reproduces the
+        same structure stochastically.
+        """
+        per_l1_miss = l2_hit_s + noc_2hop_s
+        per_l2_miss = dram_s
+        per_shared = noc_3hop_s
+        l1_only = (self.l1_mpki - self.l2_mpki) / 1000.0
+        l2 = self.l2_mpki / 1000.0
+        return (l1_only * per_l1_miss
+                + l2 * (per_l2_miss + noc_2hop_s)
+                + l2 * self.sharing_fraction * per_shared)

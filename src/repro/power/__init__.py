@@ -1,0 +1,59 @@
+"""Power modeling: technology, VFS, component budgets, chips, RAPL."""
+
+from .components import CMP_SPLIT, MANYCORE_SPLIT, SERVER_SPLIT, ComponentSplit
+from .mcpat import block_power, peak_power_density_w_m2, power_summary
+from .processors import (
+    HIGH_FREQUENCY_CMP,
+    LOW_POWER_CMP,
+    XEON_E5_2667V4,
+    XEON_PHI_7290,
+    ChipSpec,
+    chip_names,
+    get_chip,
+)
+from .rapl import PowerProfile, PowerSample, RaplEmulator, model_profile
+from .report import component_breakdown, ladder_report, render_report
+from .roadmap import (
+    feasibility_horizon,
+    last_feasible_year,
+    projected_chip,
+    projected_power_w,
+    power_scale,
+)
+from .technology import TECH_22NM_HP, TECH_22NM_LP, Technology, get_technology
+from .vfs import VFSCurve, VFSLadder
+
+__all__ = [
+    "ComponentSplit",
+    "CMP_SPLIT",
+    "SERVER_SPLIT",
+    "MANYCORE_SPLIT",
+    "block_power",
+    "power_summary",
+    "peak_power_density_w_m2",
+    "ChipSpec",
+    "LOW_POWER_CMP",
+    "HIGH_FREQUENCY_CMP",
+    "XEON_E5_2667V4",
+    "XEON_PHI_7290",
+    "get_chip",
+    "chip_names",
+    "PowerProfile",
+    "PowerSample",
+    "RaplEmulator",
+    "model_profile",
+    "Technology",
+    "TECH_22NM_HP",
+    "TECH_22NM_LP",
+    "get_technology",
+    "VFSCurve",
+    "VFSLadder",
+    "power_scale",
+    "projected_power_w",
+    "projected_chip",
+    "feasibility_horizon",
+    "last_feasible_year",
+    "component_breakdown",
+    "render_report",
+    "ladder_report",
+]

@@ -1,0 +1,101 @@
+"""Per-component power budget split.
+
+McPAT reports power per architectural component; the thermal model needs
+power per floorplan block. This module holds the budget fractions that
+connect the two: what share of the chip's dynamic and static power goes
+to cores, L2/LLC banks, NoC routers, and everything else.
+
+Fractions are normalized separately for dynamic and static budgets
+because caches are leakage-heavy while cores dominate switching power —
+which is precisely why the core row forms the hotspot in the paper's
+Figs. 9/16 thermal maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class ComponentSplit:
+    """Dynamic/static power shares per block kind.
+
+    Both dicts must cover identical kind sets and each must sum to 1.
+    """
+
+    dynamic_fraction: dict[str, float]
+    static_fraction: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if set(self.dynamic_fraction) != set(self.static_fraction):
+            raise PowerModelError(
+                "dynamic and static splits must cover the same kinds: "
+                f"{sorted(self.dynamic_fraction)} vs "
+                f"{sorted(self.static_fraction)}"
+            )
+        for label, frac in (("dynamic", self.dynamic_fraction),
+                            ("static", self.static_fraction)):
+            total = sum(frac.values())
+            if abs(total - 1.0) > 1e-9:
+                raise PowerModelError(
+                    f"{label} fractions must sum to 1, got {total}"
+                )
+            bad = {k: v for k, v in frac.items() if v < 0}
+            if bad:
+                raise PowerModelError(
+                    f"{label} fractions must be non-negative, got {bad}"
+                )
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        """Block kinds covered by this split, sorted."""
+        return tuple(sorted(self.dynamic_fraction))
+
+    def block_power(self, kind: str, dynamic_w: float, static_w: float,
+                    share_of_kind: float) -> float:
+        """Watts for one block: its share of the kind's budget.
+
+        Args:
+            kind: block kind ("core", "l2", ...).
+            dynamic_w / static_w: whole-chip dynamic and static power.
+            share_of_kind: this block's fraction of the kind's total
+                budget (e.g. area share within the kind), in [0, 1].
+        """
+        if kind not in self.dynamic_fraction:
+            raise PowerModelError(
+                f"kind {kind!r} not covered by the component split "
+                f"(kinds: {self.kinds})"
+            )
+        if not (0.0 <= share_of_kind <= 1.0 + 1e-12):
+            raise PowerModelError(
+                f"share_of_kind must be in [0, 1], got {share_of_kind}"
+            )
+        return share_of_kind * (
+            self.dynamic_fraction[kind] * dynamic_w
+            + self.static_fraction[kind] * static_w
+        )
+
+
+CMP_SPLIT = ComponentSplit(
+    dynamic_fraction={"core": 0.52, "l2": 0.28, "router": 0.12,
+                      "misc": 0.08},
+    static_fraction={"core": 0.35, "l2": 0.45, "router": 0.08,
+                     "misc": 0.12},
+)
+"""Baseline 16-tile CMP split (Table 1 organization): switching power is
+core-dominated; leakage tilts toward the twelve large L2 banks."""
+
+SERVER_SPLIT = ComponentSplit(
+    dynamic_fraction={"core": 0.70, "l2": 0.18, "misc": 0.12},
+    static_fraction={"core": 0.42, "l2": 0.40, "misc": 0.18},
+)
+"""Xeon E5-class split: eight big cores, LLC spine, system agents."""
+
+MANYCORE_SPLIT = ComponentSplit(
+    dynamic_fraction={"core": 0.66, "l2": 0.18, "misc": 0.16},
+    static_fraction={"core": 0.46, "l2": 0.34, "misc": 0.20},
+)
+"""Xeon Phi-class split: 72 small cores spread over the die; the MCDRAM
+PHYs and fabric take a larger miscellaneous share."""

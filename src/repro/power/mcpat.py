@@ -1,0 +1,105 @@
+"""McPAT-like chip power calculator.
+
+McPAT's role in the paper is to convert (chip description, VFS step)
+into per-component power, which HotSpot then consumes as per-block
+watts. :func:`block_power` performs the same conversion:
+
+1. scale the chip's anchored maximum power down to the requested VFS
+   step with the alpha-power model (dynamic and static separately);
+2. split the two budgets across block kinds with the chip's
+   :class:`~repro.power.components.ComponentSplit`;
+3. apportion each kind's budget across its floorplan blocks by area.
+
+The paper notes McPAT's reported accuracy (22.61 % power, 16.7 % area
+versus real Xeon Tulsa chips) and positions the whole pipeline as
+early-stage design-space survey; this module inherits that contract.
+Vertical-interconnect power (TSV/TCI) is neglected exactly as the paper
+neglects it (< 0.3 W per 256 Gbps vertical link).
+"""
+
+from __future__ import annotations
+
+from ..errors import PowerModelError
+from ..floorplan import Floorplan
+from .processors import ChipSpec
+
+
+def block_power(chip: ChipSpec, f_hz: float,
+                floorplan: Floorplan | None = None) -> dict[str, float]:
+    """Per-block watts for a chip running every unit at full activity.
+
+    Args:
+        chip: the chip design.
+        f_hz: the VFS step to evaluate. Must lie on the chip's ladder;
+            this mirrors real DVFS hardware, which offers discrete
+            P-states only.
+        floorplan: override floorplan (e.g. a rotated copy). Defaults to
+            the chip's own. The override must contain the same block
+            kinds as the chip's component split.
+
+    Returns:
+        Mapping block name -> watts. The values sum to
+        ``chip.total_power_w(f_hz)`` to floating-point accuracy.
+    """
+    if not chip.ladder.contains(f_hz):
+        raise PowerModelError(
+            f"chip {chip.name!r}: {f_hz / 1e9:.3f} GHz is not a VFS ladder "
+            f"step (ladder {chip.ladder.f_min_hz / 1e9:.1f}-"
+            f"{chip.ladder.f_max_hz / 1e9:.1f} GHz step "
+            f"{chip.ladder.step_hz / 1e9:.1f} GHz)"
+        )
+    fp = floorplan if floorplan is not None else chip.floorplan()
+    dyn_w, stat_w = chip.dynamic_static_w(f_hz)
+
+    # Area totals per kind, to apportion kind budgets across blocks.
+    kind_area: dict[str, float] = {}
+    for b in fp.blocks:
+        kind_area[b.kind] = kind_area.get(b.kind, 0.0) + b.rect.area
+
+    missing = set(kind_area) - set(chip.split.kinds)
+    if missing:
+        raise PowerModelError(
+            f"chip {chip.name!r}: floorplan {fp.name!r} contains kinds "
+            f"{sorted(missing)} absent from the component split "
+            f"{chip.split.kinds}"
+        )
+
+    # Renormalize budgets over the kinds the floorplan actually has, so
+    # total chip power is conserved when a kind (e.g. "misc") is absent.
+    dyn_norm = sum(chip.split.dynamic_fraction[k] for k in kind_area)
+    stat_norm = sum(chip.split.static_fraction[k] for k in kind_area)
+    if dyn_norm <= 0 or stat_norm <= 0:
+        raise PowerModelError(
+            f"chip {chip.name!r}: floorplan {fp.name!r} kinds "
+            f"{sorted(kind_area)} carry no budget in the component split"
+        )
+    out: dict[str, float] = {}
+    for b in fp.blocks:
+        share = b.rect.area / kind_area[b.kind]
+        out[b.name] = share * (
+            chip.split.dynamic_fraction[b.kind] / dyn_norm * dyn_w
+            + chip.split.static_fraction[b.kind] / stat_norm * stat_w
+        )
+    return out
+
+
+def power_summary(chip: ChipSpec, f_hz: float) -> dict[str, float]:
+    """Aggregate per-kind watts at a VFS step (for reports and tests)."""
+    fp = chip.floorplan()
+    per_block = block_power(chip, f_hz, fp)
+    out: dict[str, float] = {}
+    for b in fp.blocks:
+        out[b.kind] = out.get(b.kind, 0.0) + per_block[b.name]
+    return out
+
+
+def peak_power_density_w_m2(chip: ChipSpec, f_hz: float,
+                            nx: int = 32, ny: int = 32) -> float:
+    """Peak areal power density over the die at a VFS step (W/m**2).
+
+    This is the quantity 3-D stacking multiplies: N stacked identical
+    dies roughly N-fold the local density the package must evacuate.
+    """
+    fp = chip.floorplan()
+    density = fp.density_map(block_power(chip, f_hz, fp), nx, ny)
+    return float(density.max())

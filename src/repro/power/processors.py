@@ -1,0 +1,171 @@
+"""Chip descriptions used across the paper's evaluation.
+
+Four chips appear:
+
+* **low-power CMP** — the Table 1 baseline with the 11-step VFS ladder,
+  1.0-2.0 GHz, maximum power 47.2 W at 2.0 GHz;
+* **high-frequency CMP** — same die, 13-step ladder 1.2-3.6 GHz in
+  0.2 GHz increments, maximum power 56.8 W at 3.6 GHz;
+* **Xeon E5-2667v4 model** — eight-core server die for Figs. 1 and 14;
+  the paper measures its power profile with RAPL running `stress` and
+  its datasheet threshold is 78 C;
+* **Xeon Phi 7290 model** — 72-core manycore die for Figs. 17 and 18.
+
+A :class:`ChipSpec` bundles the floorplan, the VFS ladder and curve, the
+power anchor, and the component split; :mod:`repro.power.mcpat` turns a
+spec plus a frequency into per-block watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..errors import ConfigurationError
+from ..floorplan import Floorplan, get_floorplan
+from ..units import ghz
+from .components import (
+    CMP_SPLIT,
+    MANYCORE_SPLIT,
+    SERVER_SPLIT,
+    ComponentSplit,
+)
+from .technology import TECH_22NM_HP, Technology
+from .vfs import VFSCurve, VFSLadder
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Everything the pipeline needs to know about one chip design.
+
+    Attributes:
+        name: identifier ("low-power-cmp", ...).
+        floorplan_name: key into :mod:`repro.floorplan.library`.
+        ladder: the discrete VFS ladder the chip supports.
+        max_power_w: total chip power at the ladder maximum (the paper's
+            anchor: 47.2 W / 56.8 W for the two CMPs; RAPL-measured
+            maxima for the Intel chips).
+        tech: process technology (voltages, alpha, leakage share).
+        split: per-kind power budget fractions.
+        threshold_c: the operating temperature threshold applied in the
+            corresponding experiments.
+        die_thickness_m: silicon thickness per die in the 3-D stack.
+        num_cores: core count (drives thread counts in perf simulation).
+    """
+
+    name: str
+    floorplan_name: str
+    ladder: VFSLadder
+    max_power_w: float
+    tech: Technology = TECH_22NM_HP
+    split: ComponentSplit = field(default_factory=lambda: CMP_SPLIT)
+    threshold_c: float = 80.0
+    die_thickness_m: float = 600e-6
+    num_cores: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_power_w <= 0:
+            raise ConfigurationError(
+                f"chip {self.name!r}: max power must be positive, "
+                f"got {self.max_power_w}"
+            )
+        if self.num_cores <= 0:
+            raise ConfigurationError(
+                f"chip {self.name!r}: need at least one core"
+            )
+
+    @property
+    def curve(self) -> VFSCurve:
+        """The continuous alpha-power VFS curve anchored at the ladder max."""
+        return VFSCurve(tech=self.tech, f_max_hz=self.ladder.f_max_hz)
+
+    def floorplan(self) -> Floorplan:
+        """Instantiate this chip's floorplan."""
+        return get_floorplan(self.floorplan_name)
+
+    def total_power_w(self, f_hz: float) -> float:
+        """Whole-chip power at a ladder frequency (worst-case activity)."""
+        dyn_max = self.max_power_w * (1.0 - self.tech.static_fraction_at_max)
+        stat_max = self.max_power_w * self.tech.static_fraction_at_max
+        c = self.curve
+        return (dyn_max * c.dynamic_scale(f_hz)
+                + stat_max * c.static_scale(f_hz))
+
+    def dynamic_static_w(self, f_hz: float) -> tuple[float, float]:
+        """(dynamic, static) watts at a frequency."""
+        dyn_max = self.max_power_w * (1.0 - self.tech.static_fraction_at_max)
+        stat_max = self.max_power_w * self.tech.static_fraction_at_max
+        c = self.curve
+        return (dyn_max * c.dynamic_scale(f_hz),
+                stat_max * c.static_scale(f_hz))
+
+
+# ---------------------------------------------------------------------------
+# The paper's four chips
+# ---------------------------------------------------------------------------
+
+LOW_POWER_CMP = ChipSpec(
+    name="low-power-cmp",
+    floorplan_name="baseline-16tile",
+    ladder=VFSLadder(f_min_hz=ghz(1.0), f_max_hz=ghz(2.0), step_hz=ghz(0.1)),
+    max_power_w=47.2,
+    split=CMP_SPLIT,
+    threshold_c=80.0,
+    num_cores=4,
+)
+"""Table 1 baseline, low-power variant: 11 VFS steps, 47.2 W @ 2.0 GHz."""
+
+HIGH_FREQUENCY_CMP = ChipSpec(
+    name="high-frequency-cmp",
+    floorplan_name="baseline-16tile",
+    ladder=VFSLadder(f_min_hz=ghz(1.2), f_max_hz=ghz(3.6), step_hz=ghz(0.2)),
+    max_power_w=56.8,
+    split=CMP_SPLIT,
+    threshold_c=80.0,
+    num_cores=4,
+)
+"""Table 1 baseline, high-frequency variant: 13 VFS steps, 56.8 W @ 3.6 GHz."""
+
+XEON_E5_2667V4 = ChipSpec(
+    name="xeon-e5-2667v4",
+    floorplan_name="xeon-e5-2667v4",
+    ladder=VFSLadder(f_min_hz=ghz(1.2), f_max_hz=ghz(3.6), step_hz=ghz(0.2)),
+    max_power_w=135.0,
+    split=SERVER_SPLIT,
+    threshold_c=78.0,
+    num_cores=8,
+)
+"""Xeon E5-2667v4 model: 8 cores, 135 W at 3.6 GHz, 78 C datasheet
+threshold (used in Fig. 1)."""
+
+XEON_PHI_7290 = ChipSpec(
+    name="xeon-phi-7290",
+    floorplan_name="xeon-phi-7290",
+    ladder=VFSLadder(f_min_hz=ghz(1.0), f_max_hz=ghz(1.6), step_hz=ghz(0.1)),
+    max_power_w=245.0,
+    split=MANYCORE_SPLIT,
+    threshold_c=80.0,
+    num_cores=72,
+)
+"""Xeon Phi 7290 model: 72 cores, 245 W at 1.6 GHz (Fig. 17/18)."""
+
+
+_LIBRARY = {c.name: c for c in (LOW_POWER_CMP, HIGH_FREQUENCY_CMP,
+                                XEON_E5_2667V4, XEON_PHI_7290)}
+
+
+@lru_cache(maxsize=None)
+def get_chip(name: str) -> ChipSpec:
+    """Look up a chip spec by name."""
+    try:
+        return _LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(_LIBRARY))
+        raise ConfigurationError(
+            f"unknown chip {name!r}; known chips: {known}"
+        ) from None
+
+
+def chip_names() -> tuple[str, ...]:
+    """Names of all built-in chips, sorted."""
+    return tuple(sorted(_LIBRARY))

@@ -1,0 +1,135 @@
+"""RAPL-like measured power profiles.
+
+The paper measures Xeon E5-2667v4 and Phi 7250/7290 power with Intel
+RAPL while running one `stress` instance (computing pi) per core, at
+each capped frequency; Fig. 6 then shows the measured power-frequency
+curves match the alpha-power VFS model. Real RAPL hardware is not
+available here, so this module *emulates the measurement*: it samples
+the chip's model curve and adds reproducible measurement noise, then
+exposes the samples through a RAPL-style API (energy counter +
+timestamps). The substitution is recorded in DESIGN.md; the paper's own
+Fig. 6 argues the model and measurement coincide, which is exactly what
+makes the emulation faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PowerModelError
+from .processors import ChipSpec
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One RAPL-style observation at a capped frequency."""
+
+    f_hz: float
+    power_w: float
+    duration_s: float
+
+    @property
+    def energy_j(self) -> float:
+        """Energy accumulated over the sampling window, joules."""
+        return self.power_w * self.duration_s
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """A measured (frequency, power) ladder for one chip.
+
+    The frequency optimizer and Fig. 6 bench consume profiles; they can
+    come from the analytic model (noise=0) or the emulated measurement.
+    """
+
+    chip_name: str
+    samples: tuple[PowerSample, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise PowerModelError(
+                f"profile for {self.chip_name!r} has no samples"
+            )
+        freqs = [s.f_hz for s in self.samples]
+        if sorted(freqs) != freqs:
+            raise PowerModelError(
+                f"profile for {self.chip_name!r}: samples must be in "
+                f"ascending frequency order"
+            )
+
+    def frequencies(self) -> np.ndarray:
+        """Sampled frequencies, ascending (Hz)."""
+        return np.array([s.f_hz for s in self.samples])
+
+    def powers(self) -> np.ndarray:
+        """Measured powers aligned with :meth:`frequencies` (W)."""
+        return np.array([s.power_w for s in self.samples])
+
+    def relative(self) -> tuple[np.ndarray, np.ndarray]:
+        """(f/f_max, P/P_max) pairs — the axes of the paper's Fig. 6."""
+        f = self.frequencies()
+        p = self.powers()
+        return f / f[-1], p / p[-1]
+
+    def power_at(self, f_hz: float) -> float:
+        """Power at a sampled frequency (exact match required)."""
+        for s in self.samples:
+            if abs(s.f_hz - f_hz) <= 1e3:
+                return s.power_w
+        raise PowerModelError(
+            f"profile for {self.chip_name!r}: {f_hz / 1e9:.3f} GHz was "
+            f"not sampled"
+        )
+
+
+class RaplEmulator:
+    """Emulates the RAPL measurement loop the paper describes.
+
+    Per VFS step: cap the frequency, run `stress` on every core for
+    ``duration_s``, read the package energy counter before and after,
+    divide. Measurement noise is multiplicative Gaussian with the given
+    relative sigma (RAPL package readings are good to a few percent).
+
+    Args:
+        chip: the chip whose power is "measured".
+        noise_sigma: relative standard deviation of a reading.
+        seed: RNG seed; identical seeds give identical profiles.
+    """
+
+    def __init__(self, chip: ChipSpec, *, noise_sigma: float = 0.02,
+                 seed: int = 0) -> None:
+        if noise_sigma < 0:
+            raise PowerModelError(
+                f"noise sigma must be non-negative, got {noise_sigma}"
+            )
+        self._chip = chip
+        self._noise_sigma = noise_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def measure_step(self, f_hz: float, *, duration_s: float = 10.0
+                     ) -> PowerSample:
+        """Measure one VFS step (one frequency cap)."""
+        true_power = self._chip.total_power_w(f_hz)
+        noise = 1.0 + self._noise_sigma * self._rng.standard_normal()
+        return PowerSample(f_hz=f_hz, power_w=max(true_power * noise, 0.0),
+                           duration_s=duration_s)
+
+    def measure_profile(self, *, duration_s: float = 10.0) -> PowerProfile:
+        """Sweep the whole VFS ladder, lowest step first."""
+        samples = tuple(
+            self.measure_step(float(f), duration_s=duration_s)
+            for f in self._chip.ladder.frequencies()
+        )
+        return PowerProfile(chip_name=self._chip.name, samples=samples)
+
+
+def model_profile(chip: ChipSpec) -> PowerProfile:
+    """The noise-free analytic profile (the model curves of Fig. 6)."""
+    samples = tuple(
+        PowerSample(f_hz=float(f), power_w=chip.total_power_w(float(f)),
+                    duration_s=0.0)
+        for f in chip.ladder.frequencies()
+    )
+    return PowerProfile(chip_name=chip.name, samples=samples)

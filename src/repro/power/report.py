@@ -1,0 +1,74 @@
+"""McPAT-style textual chip report (extension).
+
+McPAT's signature artifact is the per-component power/area breakdown
+report. This module renders the same artifact from our model, giving
+API parity for users migrating scripts and a one-look summary of where
+a chip's watts go at each VFS step.
+"""
+
+from __future__ import annotations
+
+from ..errors import PowerModelError
+from ..units import mm2, to_ghz
+from .mcpat import block_power
+from .processors import ChipSpec
+
+
+def component_breakdown(chip: ChipSpec, f_hz: float
+                        ) -> dict[str, dict[str, float]]:
+    """Per-kind {power_w, area_mm2, density_w_cm2, share} at a step."""
+    fp = chip.floorplan()
+    per_block = block_power(chip, f_hz, fp)
+    total = sum(per_block.values())
+    if total <= 0:
+        raise PowerModelError("chip reports no power")
+    out: dict[str, dict[str, float]] = {}
+    for b in fp.blocks:
+        entry = out.setdefault(b.kind, {"power_w": 0.0, "area_mm2": 0.0})
+        entry["power_w"] += per_block[b.name]
+        entry["area_mm2"] += b.rect.area / mm2(1.0)
+    for entry in out.values():
+        entry["density_w_cm2"] = entry["power_w"] / entry["area_mm2"] * 100
+        entry["share"] = entry["power_w"] / total
+    return out
+
+
+def render_report(chip: ChipSpec, f_hz: float) -> str:
+    """The McPAT-like text report for one chip at one VFS step."""
+    dyn, stat = chip.dynamic_static_w(f_hz)
+    v = chip.curve.voltage_for(f_hz)
+    breakdown = component_breakdown(chip, f_hz)
+    fp = chip.floorplan()
+    lines = [
+        "*" * 60,
+        f"Processor: {chip.name}",
+        f"  Technology: {chip.tech.name}",
+        f"  Clock rate: {to_ghz(f_hz):.2f} GHz   Vdd: {v:.3f} V",
+        f"  Die area: {fp.die_area / mm2(1.0):.1f} mm^2",
+        f"  Total power: {dyn + stat:.2f} W "
+        f"(dynamic {dyn:.2f} W, leakage {stat:.2f} W)",
+        "*" * 60,
+    ]
+    for kind in sorted(breakdown, key=lambda k: -breakdown[k]["power_w"]):
+        e = breakdown[kind]
+        lines.append(
+            f"  {kind:>8s}: {e['power_w']:7.2f} W "
+            f"({e['share']:5.1%})  area {e['area_mm2']:7.1f} mm^2  "
+            f"density {e['density_w_cm2']:6.1f} W/cm^2"
+        )
+    lines.append("*" * 60)
+    return "\n".join(lines)
+
+
+def ladder_report(chip: ChipSpec) -> str:
+    """Power at every VFS step — the table the pipeline consumes."""
+    lines = [f"VFS ladder of {chip.name}:",
+             f"{'GHz':>5s} {'Vdd':>6s} {'dyn W':>8s} {'leak W':>8s} "
+             f"{'total W':>8s}"]
+    for f in chip.ladder.frequencies():
+        f = float(f)
+        dyn, stat = chip.dynamic_static_w(f)
+        v = chip.curve.voltage_for(f)
+        lines.append(f"{to_ghz(f):5.1f} {v:6.3f} {dyn:8.2f} {stat:8.2f} "
+                     f"{dyn + stat:8.2f}")
+    return "\n".join(lines)

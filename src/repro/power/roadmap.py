@@ -1,0 +1,111 @@
+"""IRDS roadmap projection (extension).
+
+The paper's introduction motivates water immersion with the trend line:
+245 W in a Xeon Phi today, "425 Watts in a conventional CMP in 2033
+taken from IRDS roadmap". This extension encodes that trajectory and
+asks the forward-looking question the intro implies: *in which year
+does each cooling option stop supporting a given 3-D stack?*
+
+The projection scales the baseline CMP's power anchor along a smooth
+exponential pinned at the paper's two endpoints (56.8 W in 2019 for the
+high-frequency CMP chip; a conventional CMP at 425 W in 2033) while die
+area stays roughly constant (the roadmap's density scaling absorbs the
+transistor growth), so power *density* grows by the same factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from ..errors import ConfigurationError
+from .processors import ChipSpec
+
+BASE_YEAR = 2019
+BASE_CMP_POWER_W = 56.8
+ROADMAP_YEAR = 2033
+ROADMAP_CMP_POWER_W = 425.0
+
+_GROWTH = (ROADMAP_CMP_POWER_W / BASE_CMP_POWER_W) ** (
+    1.0 / (ROADMAP_YEAR - BASE_YEAR))
+"""Annual power growth factor implied by the paper's two endpoints
+(~15.5 %/year — 3-D integration, not classical Dennard scaling)."""
+
+
+def power_scale(year: int) -> float:
+    """Chip-power multiplier for a roadmap year (1.0 at 2019)."""
+    if year < BASE_YEAR:
+        raise ConfigurationError(
+            f"roadmap starts at {BASE_YEAR}, got {year}"
+        )
+    return _GROWTH ** (year - BASE_YEAR)
+
+
+def projected_power_w(year: int, base_power_w: float = BASE_CMP_POWER_W
+                      ) -> float:
+    """Projected max chip power in a roadmap year."""
+    return base_power_w * power_scale(year)
+
+
+def projected_chip(chip: ChipSpec, year: int) -> ChipSpec:
+    """A roadmap-year variant of a chip: same die, scaled power anchor.
+
+    The VFS ladder, floorplan, and split stay fixed — the projection
+    isolates the paper's variable (power density) exactly as Fig. 1's
+    stacked-chip sweep isolates tier count.
+    """
+    scale = power_scale(year)
+    return replace(chip,
+                   name=f"{chip.name}@{year}",
+                   max_power_w=chip.max_power_w * scale)
+
+
+def feasibility_horizon(chip: ChipSpec, n_chips: int, cooling_name: str,
+                        *, years: tuple[int, ...] = tuple(
+                            range(2019, 2034, 2)),
+                        params=None) -> dict[int, float]:
+    """Max frequency of a stack per roadmap year (0 = infeasible).
+
+    Answers "when does this cooling option stop working?" for the given
+    stack height.
+    """
+    from ..cooling.options import get_cooling
+    from ..core.freqopt import max_frequency
+    from ..stack.chipstack import StackConfig
+    from ..thermal.hotspot import ThermalModel
+    from ..thermal.package import DEFAULT_PACKAGE
+
+    p = params if params is not None else DEFAULT_PACKAGE
+    cooling = get_cooling(cooling_name)
+    out: dict[int, float] = {}
+    for year in years:
+        stack = StackConfig(chip=projected_chip(chip, year),
+                            n_chips=n_chips)
+        point = max_frequency(ThermalModel(stack, cooling, p))
+        out[year] = point.f_ghz if point.feasible else 0.0
+    return out
+
+
+def last_feasible_year(chip: ChipSpec, n_chips: int, cooling_name: str,
+                       *, years: tuple[int, ...] = tuple(
+                           range(2019, 2034)),
+                       params=None) -> int | None:
+    """Latest roadmap year the stack still meets its threshold."""
+    horizon = feasibility_horizon(chip, n_chips, cooling_name,
+                                  years=years, params=params)
+    feasible = [y for y, f in horizon.items() if f > 0]
+    return max(feasible) if feasible else None
+
+
+def sanity_growth() -> float:
+    """The implied annual growth (exposed for tests/documentation)."""
+    return _GROWTH
+
+
+def check_endpoints() -> tuple[float, float]:
+    """(2019 power, 2033 power) of the pinned projection."""
+    return (projected_power_w(BASE_YEAR),
+            projected_power_w(ROADMAP_YEAR))
+
+
+assert math.isclose(check_endpoints()[1], ROADMAP_CMP_POWER_W)

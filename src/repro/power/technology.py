@@ -1,0 +1,94 @@
+"""Technology parameters for the 22 nm high-performance process.
+
+The paper configures McPAT for 22 nm with physical gate lengths for
+high-performance applications, and states that supply voltage V and
+threshold voltage Vth for the alpha-power delay model are "taken from
+the McPAT technology file". The values below are the McPAT 22 nm HP
+planar figures; alpha = 1.3 is the paper's stated velocity-saturation
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process technology description.
+
+    Attributes:
+        name: identifier, e.g. "22nm-hp".
+        vdd_max_v: nominal (maximum) supply voltage.
+        vth_v: threshold voltage.
+        alpha: velocity-saturation index in the alpha-power law.
+        vdd_min_v: lowest supply the VFS ladder may reach; solving the
+            delay model below this voltage is rejected rather than
+            extrapolated into the sub-threshold region.
+        static_fraction_at_max: leakage share of total chip power at the
+            maximum VFS operating point (typical for 22 nm HP logic).
+    """
+
+    name: str
+    vdd_max_v: float
+    vth_v: float
+    alpha: float
+    vdd_min_v: float
+    static_fraction_at_max: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.vth_v < self.vdd_min_v < self.vdd_max_v):
+            raise ConfigurationError(
+                f"technology {self.name!r}: require 0 < vth < vdd_min < "
+                f"vdd_max, got vth={self.vth_v}, vdd_min={self.vdd_min_v}, "
+                f"vdd_max={self.vdd_max_v}"
+            )
+        if not (1.0 <= self.alpha <= 2.0):
+            raise ConfigurationError(
+                f"technology {self.name!r}: alpha must lie in [1, 2] "
+                f"(1 = full velocity saturation, 2 = long channel), "
+                f"got {self.alpha}"
+            )
+        if not (0.0 < self.static_fraction_at_max < 1.0):
+            raise ConfigurationError(
+                f"technology {self.name!r}: static fraction must be in "
+                f"(0, 1), got {self.static_fraction_at_max}"
+            )
+
+
+TECH_22NM_HP = Technology(
+    name="22nm-hp",
+    vdd_max_v=1.0,
+    vth_v=0.25,
+    alpha=1.3,
+    vdd_min_v=0.40,
+    static_fraction_at_max=0.30,
+)
+"""McPAT 22 nm high-performance settings with the paper's alpha = 1.3."""
+
+TECH_22NM_LP = Technology(
+    name="22nm-lp",
+    vdd_max_v=0.9,
+    vth_v=0.30,
+    alpha=1.3,
+    vdd_min_v=0.45,
+    static_fraction_at_max=0.15,
+)
+"""Low-operating-power variant (not used by the paper's headline results;
+provided for sensitivity studies)."""
+
+
+_LIBRARY = {t.name: t for t in (TECH_22NM_HP, TECH_22NM_LP)}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a technology node by name."""
+    try:
+        return _LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(_LIBRARY))
+        raise ConfigurationError(
+            f"unknown technology {name!r}; known: {known}"
+        ) from None

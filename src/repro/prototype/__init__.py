@@ -1,0 +1,93 @@
+"""In-water prototype models: Section 2's physical experiments."""
+
+from .boardmodel import (
+    DEFAULT_BOARD,
+    SCENARIOS,
+    BoardThermalParams,
+    PrototypeBoardModel,
+)
+from .coating import (
+    MIN_RELIABLE_THICKNESS_M,
+    PAPER_THICKNESSES_M,
+    CoatingSpec,
+    recommended_coating,
+)
+from .components import (
+    CAMPAIGN_YEARS,
+    NUM_TEST_BOARDS,
+    SERVER_OBSERVATIONS,
+    TEST_BOARD_COMPONENTS,
+    ComponentClass,
+    get_component,
+    recommended_above_water,
+)
+from .experiments import (
+    CAMPAIGN,
+    CampaignRun,
+    fleet_summary,
+    longest_run_days,
+    memory_failures_are_environment_independent,
+    runs_in,
+)
+from .leakage import (
+    COMPONENT_DEGRADATION,
+    FilmDegradation,
+    LeakagePath,
+    component_degradation,
+    sea_vs_tap_acceleration,
+)
+from .deployment import (
+    ENVIRONMENTS,
+    RIVER,
+    TAP_WATER_TANK,
+    TOKYO_BAY,
+    WaterEnvironment,
+    get_environment,
+)
+from .reliability import (
+    BoardReliability,
+    WeibullLife,
+    fitted_lifetimes,
+    fully_coated_board,
+    masked_board,
+)
+
+__all__ = [
+    "PrototypeBoardModel",
+    "BoardThermalParams",
+    "DEFAULT_BOARD",
+    "SCENARIOS",
+    "CoatingSpec",
+    "recommended_coating",
+    "MIN_RELIABLE_THICKNESS_M",
+    "PAPER_THICKNESSES_M",
+    "ComponentClass",
+    "TEST_BOARD_COMPONENTS",
+    "SERVER_OBSERVATIONS",
+    "NUM_TEST_BOARDS",
+    "CAMPAIGN_YEARS",
+    "get_component",
+    "recommended_above_water",
+    "WeibullLife",
+    "BoardReliability",
+    "fitted_lifetimes",
+    "fully_coated_board",
+    "masked_board",
+    "WaterEnvironment",
+    "TAP_WATER_TANK",
+    "RIVER",
+    "TOKYO_BAY",
+    "ENVIRONMENTS",
+    "get_environment",
+    "LeakagePath",
+    "FilmDegradation",
+    "COMPONENT_DEGRADATION",
+    "component_degradation",
+    "sea_vs_tap_acceleration",
+    "CampaignRun",
+    "CAMPAIGN",
+    "runs_in",
+    "longest_run_days",
+    "memory_failures_are_environment_independent",
+    "fleet_summary",
+]

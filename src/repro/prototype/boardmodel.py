@@ -1,0 +1,137 @@
+"""Board-level thermal model of the in-water prototype (Fig. 4).
+
+The paper measures the film-coated FUJITSU PRIMERGY TX1320 M2 server
+(Xeon E3-1270v5) running `stress` under three cooling options:
+
+    air (high-speed fan)          76 C
+    only the heatsink in water    71 C
+    full immersion                56 C
+
+A three-node compact network — junction, heatsink, board — reproduces
+the measurements and, more importantly, their *structure*: immersing
+only the heatsink buys 5 C because the junction-to-sink path (TIM +
+spreader + film) dominates once the sink's convection is strong, while
+full immersion opens the second path through the socket and board.
+This is the same dual-path physics the 3-D CMP package model uses.
+
+The default resistances were fitted (scripts/calibrate.py heritage) so
+the three scenarios land exactly on 76 / 71 / 56 C at a 25 C ambient
+with a 65 W package and 20 W of board power; the fitted values —
+junction->sink 0.77 K/W, junction->board 1.04 K/W, fan-blown sink
+0.25 K/W — are all within normal ranges for a 1U server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import AMBIENT_C
+
+
+@dataclass(frozen=True)
+class BoardThermalParams:
+    """Network constants of the prototype board.
+
+    Attributes:
+        cpu_power_w: package power under `stress` (E3-1270v5, 80 W TDP,
+            ~65 W measured package power for the pi workload).
+        board_power_w: VRM + DIMM + chipset dissipation on the board.
+        r_junction_sink: junction -> sink-base conduction (die, TIM,
+            IHS, sink base), K/W. Dominates once the sink is wet.
+        r_junction_board: junction -> board through socket/pins, K/W.
+        r_sink_air / r_sink_water: sink surface to fluid (fan-driven air
+            vs natural-convection water through the film).
+        r_board_air_fan / r_board_air_still / r_board_water: board
+            surfaces to fluid in the three scenarios.
+    """
+
+    cpu_power_w: float = 65.0
+    board_power_w: float = 20.0
+    r_junction_sink: float = 0.7696
+    r_junction_board: float = 1.0399
+    r_sink_air: float = 0.2544
+    r_sink_water: float = 0.014
+    r_board_air_fan: float = 1.0
+    r_board_air_still: float = 1.5
+    r_board_water: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name, v in self.__dict__.items():
+            if v <= 0:
+                raise ConfigurationError(
+                    f"board parameter {name} must be positive, got {v}"
+                )
+
+
+DEFAULT_BOARD = BoardThermalParams()
+
+SCENARIOS = ("air", "heatsink_in_water", "full_immersion")
+"""The three Fig. 4 cooling options, in the figure's order."""
+
+
+class PrototypeBoardModel:
+    """Solves the three-node network for any of the Fig. 4 scenarios."""
+
+    def __init__(self, params: BoardThermalParams = DEFAULT_BOARD,
+                 ambient_c: float = AMBIENT_C) -> None:
+        self.params = params
+        self.ambient_c = ambient_c
+
+    def _scenario_resistances(self, scenario: str) -> tuple[float, float]:
+        """(sink surface R, board surface R) for a scenario."""
+        p = self.params
+        if scenario == "air":
+            return p.r_sink_air, p.r_board_air_fan
+        if scenario == "heatsink_in_water":
+            # Fan off; only the sink is dunked. Board sits in still air.
+            return p.r_sink_water, p.r_board_air_still
+        if scenario == "full_immersion":
+            return p.r_sink_water, p.r_board_water
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; expected one of {SCENARIOS}"
+        )
+
+    def solve(self, scenario: str) -> dict[str, float]:
+        """Steady-state node temperatures (Celsius) for a scenario.
+
+        Returns a dict with keys "junction", "sink", "board".
+        """
+        p = self.params
+        r_s_amb, r_b_amb = self._scenario_resistances(scenario)
+        g_js = 1.0 / p.r_junction_sink
+        g_jb = 1.0 / p.r_junction_board
+        g_s = 1.0 / r_s_amb
+        g_b = 1.0 / r_b_amb
+        # Nodes: J, S, B. G T = P + G_amb * T_amb
+        g = np.array([
+            [g_js + g_jb, -g_js, -g_jb],
+            [-g_js, g_js + g_s, 0.0],
+            [-g_jb, 0.0, g_jb + g_b],
+        ])
+        rhs = np.array([
+            p.cpu_power_w,
+            g_s * self.ambient_c,
+            p.board_power_w + g_b * self.ambient_c,
+        ])
+        t = np.linalg.solve(g, rhs)
+        return {"junction": float(t[0]), "sink": float(t[1]),
+                "board": float(t[2])}
+
+    def junction_c(self, scenario: str) -> float:
+        """CPU temperature the OS would report for a scenario."""
+        return self.solve(scenario)["junction"]
+
+    def figure4(self) -> dict[str, float]:
+        """All three scenario junction temperatures (the Fig. 4 bars)."""
+        return {s: self.junction_c(s) for s in SCENARIOS}
+
+    def immersion_gain_c(self) -> float:
+        """Temperature reduction of full immersion vs air cooling.
+
+        The paper's abstract rounds this to "about 20 C".
+        """
+        f4 = self.figure4()
+        return f4["air"] - f4["full_immersion"]

@@ -1,0 +1,152 @@
+"""Test-board component inventory and observed outcomes (Section 2.2).
+
+The authors built a dedicated test board (Fig. 2) with five voltage
+supply units and seven component classes chosen for their complex
+physical shapes — the shapes most likely to defeat a conformal coating.
+Five boards coated with 120/150 um parylene ran under tap water for
+over two years. This module records the inventory and the published
+outcome per class, which the reliability model is fitted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComponentClass:
+    """One component family on the test board.
+
+    Attributes:
+        name: component class ("pciex4", "rj45", ...).
+        description: what it is.
+        per_board: instances per test board.
+        observed_failures: failed instances across the five boards over
+            the two-year campaign (leakage detected or function lost).
+        failure_mode: what the paper reports happened.
+        keep_above_water: the paper's resulting recommendation.
+    """
+
+    name: str
+    description: str
+    per_board: int
+    observed_failures: int
+    failure_mode: str
+    keep_above_water: bool
+
+    def __post_init__(self) -> None:
+        if self.per_board < 1:
+            raise ConfigurationError(
+                f"component {self.name!r}: per_board must be >= 1"
+            )
+        if not (0 <= self.observed_failures <= 5 * self.per_board):
+            raise ConfigurationError(
+                f"component {self.name!r}: observed failures "
+                f"{self.observed_failures} outside 0..{5 * self.per_board}"
+            )
+
+
+NUM_TEST_BOARDS = 5
+"""Boards in the campaign (120 and 150 um parylene films)."""
+
+CAMPAIGN_YEARS = 2.0
+"""Published observation window ("over 2 years, and counting")."""
+
+
+TEST_BOARD_COMPONENTS: tuple[ComponentClass, ...] = (
+    ComponentClass(
+        name="usb",
+        description="USB connector",
+        per_board=1,
+        observed_failures=0,
+        failure_mode="none observed",
+        keep_above_water=False,
+    ),
+    ComponentClass(
+        name="rj45",
+        description="Ethernet (RJ45) jack",
+        per_board=1,
+        observed_failures=1,
+        failure_mode="small leakage current",
+        keep_above_water=True,
+    ),
+    ComponentClass(
+        name="mpcie",
+        description="mini-PCIe slot",
+        per_board=1,
+        observed_failures=1,
+        failure_mode="small leakage current",
+        keep_above_water=True,
+    ),
+    ComponentClass(
+        name="pciex4",
+        description="PCIe x4 slot",
+        per_board=1,
+        observed_failures=5,
+        failure_mode="leakage on all five boards",
+        keep_above_water=True,
+    ),
+    ComponentClass(
+        name="cr2032",
+        description="CR2032 micro cell",
+        per_board=1,
+        observed_failures=5,
+        failure_mode="electrically discharged on all boards",
+        keep_above_water=True,   # the paper says remove it entirely
+    ),
+    ComponentClass(
+        name="pga",
+        description="pin-grid-array socket",
+        per_board=1,
+        observed_failures=0,
+        failure_mode="none observed",
+        keep_above_water=False,
+    ),
+    ComponentClass(
+        name="mega_avr",
+        description="mega-AVR microcontroller",
+        per_board=1,
+        observed_failures=0,
+        failure_mode="none observed",
+        keep_above_water=False,
+    ),
+)
+
+
+def get_component(name: str) -> ComponentClass:
+    """Look up a component class by name."""
+    for c in TEST_BOARD_COMPONENTS:
+        if c.name == name:
+            return c
+    known = ", ".join(c.name for c in TEST_BOARD_COMPONENTS)
+    raise ConfigurationError(
+        f"unknown component {name!r}; known: {known}"
+    )
+
+
+def recommended_above_water() -> tuple[str, ...]:
+    """Component classes the paper says to keep above the surface.
+
+    Section 2.2: "put PCIex4, RJ45 and mPCIe components above the
+    surface of the water and ... remove microcell components"; Section
+    2.3 adds memory slots (mask them when coating).
+    """
+    from_board = tuple(c.name for c in TEST_BOARD_COMPONENTS
+                       if c.keep_above_water)
+    return from_board + ("memory_slot",)
+
+
+SERVER_OBSERVATIONS: dict[str, str] = {
+    "intel-nuc6i7kyk": "worked underwater up to half a year and counting",
+    "asrock-q1900m": "worked underwater (also deployed under Tokyo Bay, "
+                     "53 days)",
+    "as-1341g": "onboard memory failed after five months — in water AND "
+                "in air (not immersion-related)",
+    "fujitsu-tx1320m2": "memory module failed on day 7 (iRMC: 'Memory "
+                        "module failed (disabled) (CRITICAL)'); the iRMC "
+                        "itself kept working 18+ months; same failure "
+                        "occurred on an air-only control server",
+}
+"""Section 2.3's server campaign, keyed by motherboard."""

@@ -1,0 +1,105 @@
+"""Deployment environments for in-water computers (Section 4.4.3).
+
+Three environments appear in the paper's campaign: tap-water tanks
+(the multi-year test-board runs), hypothetical river deployment (the
+direct-cooling argument), and the Tokyo Bay experiment — two coated
+ASRock Q1900M PCs in a yellow box on the seabed, one of which ran for
+53 days while shellfish and seaweed colonized the enclosure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WaterEnvironment:
+    """A natural- or tap-water deployment site.
+
+    Attributes:
+        name: site label.
+        water_temp_c: bulk water temperature (annual mean).
+        is_primary_coolant: True when the site water directly contacts
+            the (coated) boards — the paper's defining property; existing
+            systems use natural water only as a *secondary* coolant.
+        biofouling_rate_per_year: fractional convection degradation per
+            year from marine growth (the Tokyo Bay box grew shellfish
+            and seaweed); zero for tap water.
+        observed_record_days: longest published run at this site class.
+        notes: campaign remarks.
+    """
+
+    name: str
+    water_temp_c: float
+    is_primary_coolant: bool
+    biofouling_rate_per_year: float
+    observed_record_days: float
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.biofouling_rate_per_year < 0:
+            raise ConfigurationError("biofouling rate cannot be negative")
+        if self.observed_record_days < 0:
+            raise ConfigurationError("record days cannot be negative")
+
+    def effective_h(self, h_clean_w_m2k: float, years: float) -> float:
+        """Convection coefficient after ``years`` of fouling.
+
+        Exponential degradation toward a fouled floor at 20 % of the
+        clean value; tap water does not degrade.
+        """
+        if h_clean_w_m2k <= 0:
+            raise ConfigurationError("clean h must be positive")
+        if years < 0:
+            raise ConfigurationError("negative time")
+        import math
+        floor = 0.2 * h_clean_w_m2k
+        decay = math.exp(-self.biofouling_rate_per_year * years)
+        return floor + (h_clean_w_m2k - floor) * decay
+
+
+TAP_WATER_TANK = WaterEnvironment(
+    name="tap-water-tank",
+    water_temp_c=25.0,
+    is_primary_coolant=True,
+    biofouling_rate_per_year=0.0,
+    observed_record_days=2 * 365.0,
+    notes="five coated test boards, 2+ years and counting (Section 2.2)",
+)
+
+RIVER = WaterEnvironment(
+    name="river",
+    water_temp_c=15.0,
+    is_primary_coolant=True,
+    biofouling_rate_per_year=0.5,
+    observed_record_days=0.0,
+    notes="the paper's proposed direct-cooling site: take and drain "
+          "river water, or place the boards in the river",
+)
+
+TOKYO_BAY = WaterEnvironment(
+    name="tokyo-bay",
+    water_temp_c=18.0,
+    is_primary_coolant=True,
+    biofouling_rate_per_year=2.0,
+    observed_record_days=53.0,
+    notes="two ASRock Q1900M PCs in a box on the seabed; 53-day record, "
+          "shorter than tap water; shellfish and seaweed on the box "
+          "(Fig. 19)",
+)
+
+
+ENVIRONMENTS = {e.name: e for e in (TAP_WATER_TANK, RIVER, TOKYO_BAY)}
+
+
+def get_environment(name: str) -> WaterEnvironment:
+    """Look up a deployment environment."""
+    try:
+        return ENVIRONMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(ENVIRONMENTS))
+        raise ConfigurationError(
+            f"unknown environment {name!r}; known: {known}"
+        ) from None

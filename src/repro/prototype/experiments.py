@@ -1,0 +1,173 @@
+"""Campaign records: the Section 2/4.4 deployments as structured data.
+
+Every physical run the paper reports — the five test boards, the four
+servers, and the Tokyo Bay box — as queryable records, so the campaign
+summaries the paper gives in prose ("over 2 years, and counting"; "up
+to a half year"; "on the 7th day...") are reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One deployed device in the campaign.
+
+    Attributes:
+        device: board/server model.
+        environment: deployment site ("tap-water-tank", "tokyo-bay",
+            "air-control").
+        film_um: parylene thickness (0 for the uncoated air controls).
+        duration_days: published run length; ``ongoing`` marks runs the
+            paper reports as "and counting".
+        outcome: what happened.
+        failure_component: the component that ended the run (None while
+            functional or when unrelated).
+    """
+
+    device: str
+    environment: str
+    film_um: float
+    duration_days: float
+    ongoing: bool
+    outcome: str
+    failure_component: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_days < 0 or self.film_um < 0:
+            raise ConfigurationError(
+                "durations and film thickness cannot be negative"
+            )
+
+
+CAMPAIGN: tuple[CampaignRun, ...] = (
+    # Section 2.2: five coated test boards, two years and counting.
+    *(CampaignRun(
+        device=f"test-board-{i + 1}",
+        environment="tap-water-tank",
+        film_um=120.0 if i % 2 == 0 else 150.0,
+        duration_days=730.0,
+        ongoing=True,
+        outcome="functional; PCIex4 leakage on all boards, one RJ45 and "
+                "one mPCIe leak across the fleet, CR2032 discharged",
+    ) for i in range(5)),
+    # Section 2.3: servers.
+    CampaignRun(
+        device="intel-nuc6i7kyk",
+        environment="tap-water-tank",
+        film_um=150.0,
+        duration_days=182.0,
+        ongoing=True,
+        outcome="functional underwater",
+    ),
+    CampaignRun(
+        device="asrock-q1900m",
+        environment="tap-water-tank",
+        film_um=150.0,
+        duration_days=182.0,
+        ongoing=True,
+        outcome="functional underwater",
+    ),
+    CampaignRun(
+        device="as-1341g",
+        environment="tap-water-tank",
+        film_um=150.0,
+        duration_days=150.0,
+        ongoing=False,
+        outcome="onboard memory failed after five months",
+        failure_component="memory_slot",
+    ),
+    CampaignRun(
+        device="as-1341g-control",
+        environment="air-control",
+        film_um=0.0,
+        duration_days=150.0,
+        ongoing=False,
+        outcome="same memory failure in air: not immersion-related",
+        failure_component="memory_slot",
+    ),
+    CampaignRun(
+        device="fujitsu-tx1320m2",
+        environment="tap-water-tank",
+        film_um=150.0,
+        duration_days=7.0,
+        ongoing=False,
+        outcome="memory module failed (iRMC CRITICAL) on day 7; the "
+                "iRMC itself kept reporting for 18+ months",
+        failure_component="memory_slot",
+    ),
+    CampaignRun(
+        device="fujitsu-tx1320m2-control",
+        environment="air-control",
+        film_um=0.0,
+        duration_days=7.0,
+        ongoing=False,
+        outcome="same memory failure on an air-cooled control server",
+        failure_component="memory_slot",
+    ),
+    # Section 4.4.3: Tokyo Bay.
+    CampaignRun(
+        device="asrock-q1900m-bay-1",
+        environment="tokyo-bay",
+        film_um=150.0,
+        duration_days=53.0,
+        ongoing=False,
+        outcome="53-day record under the bay; shellfish and seaweed on "
+                "the enclosure",
+        failure_component=None,
+    ),
+    CampaignRun(
+        device="asrock-q1900m-bay-2",
+        environment="tokyo-bay",
+        film_um=150.0,
+        duration_days=20.0,
+        ongoing=False,
+        outcome="shorter bay run of the second PC",
+        failure_component=None,
+    ),
+)
+
+
+def runs_in(environment: str) -> tuple[CampaignRun, ...]:
+    """Runs at one deployment site."""
+    out = tuple(r for r in CAMPAIGN if r.environment == environment)
+    if not out:
+        known = sorted({r.environment for r in CAMPAIGN})
+        raise ConfigurationError(
+            f"no campaign runs in {environment!r}; sites: {known}"
+        )
+    return out
+
+
+def longest_run_days(environment: str) -> float:
+    """Longest published run at a site (ongoing runs count at their
+    published lower bound)."""
+    return max(r.duration_days for r in runs_in(environment))
+
+
+def memory_failures_are_environment_independent() -> bool:
+    """The paper's §2.3 argument: every memory failure in the campaign
+    has an air-side counterpart, so immersion is not the cause."""
+    wet = {r.device.removesuffix("-control") for r in CAMPAIGN
+           if r.failure_component == "memory_slot"
+           and r.environment != "air-control"}
+    dry = {r.device.removesuffix("-control") for r in CAMPAIGN
+           if r.failure_component == "memory_slot"
+           and r.environment == "air-control"}
+    return wet == dry and bool(wet)
+
+
+def fleet_summary() -> dict[str, float]:
+    """Aggregate numbers for reports."""
+    coated = [r for r in CAMPAIGN if r.film_um > 0]
+    return {
+        "coated_devices": float(len(coated)),
+        "device_days": sum(r.duration_days for r in coated),
+        "ongoing": float(sum(r.ongoing for r in coated)),
+        "tap_water_record_days": longest_run_days("tap-water-tank"),
+        "bay_record_days": longest_run_days("tokyo-bay"),
+    }

@@ -1,0 +1,139 @@
+"""Electrical leakage model for coated components (Section 2.2).
+
+The test board's purpose is to *measure leakage*: each of its five
+supply units reports the current escaping through a compromised film.
+This module models that observable: a parylene film develops pinhole
+defects over time (faster on complex connector geometry), and each
+pinhole passes a leakage current set by the water's conductivity.
+
+It complements :mod:`repro.prototype.reliability` — the Weibull model
+answers *when* a component fails, this answers *what the test board
+reads* before and at failure, letting the library reproduce the
+campaign's measurement methodology and not just its outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+TAP_WATER_CONDUCTIVITY_S_M = 0.05
+"""Typical tap water (5-50 mS/m; sea water is ~5 S/m)."""
+
+SEA_WATER_CONDUCTIVITY_S_M = 5.0
+
+FAILURE_CURRENT_A = 1e-3
+"""Leakage at which the campaign counts a component as faulty (the
+board's supplies resolve well below a milliamp)."""
+
+
+@dataclass(frozen=True)
+class LeakagePath:
+    """One pinhole/crack through the film.
+
+    Attributes:
+        radius_m: effective defect radius.
+        water_conductivity_s_m: conductivity of the immersion water.
+    """
+
+    radius_m: float
+    water_conductivity_s_m: float = TAP_WATER_CONDUCTIVITY_S_M
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0 or self.water_conductivity_s_m <= 0:
+            raise ConfigurationError(
+                "defect radius and conductivity must be positive"
+            )
+
+    def conductance_s(self) -> float:
+        """Spreading conductance of a disk electrode: G = 4 sigma a."""
+        return 4.0 * self.water_conductivity_s_m * self.radius_m
+
+    def current_a(self, voltage_v: float) -> float:
+        """Leakage current at a supply voltage."""
+        if voltage_v < 0:
+            raise ConfigurationError("voltage cannot be negative")
+        return self.conductance_s() * voltage_v
+
+
+@dataclass(frozen=True)
+class FilmDegradation:
+    """Pinhole growth of a coated component class.
+
+    Attributes:
+        defect_rate_per_year: expected new pinholes per year (higher
+            for connector geometry the film struggles to cover — the
+            PCIe x4's long spring contacts vs a flat PGA).
+        mean_defect_radius_m: typical pinhole size.
+        water_conductivity_s_m: deployment water.
+    """
+
+    defect_rate_per_year: float
+    mean_defect_radius_m: float = 5e-6
+    water_conductivity_s_m: float = TAP_WATER_CONDUCTIVITY_S_M
+
+    def __post_init__(self) -> None:
+        if self.defect_rate_per_year < 0:
+            raise ConfigurationError("defect rate cannot be negative")
+        if self.mean_defect_radius_m <= 0:
+            raise ConfigurationError("defect radius must be positive")
+
+    def expected_defects(self, years: float) -> float:
+        """Mean pinhole count after ``years``."""
+        if years < 0:
+            raise ConfigurationError("time cannot be negative")
+        return self.defect_rate_per_year * years
+
+    def expected_leakage_a(self, years: float, voltage_v: float) -> float:
+        """Mean leakage current after ``years`` at a supply voltage."""
+        path = LeakagePath(self.mean_defect_radius_m,
+                           self.water_conductivity_s_m)
+        return self.expected_defects(years) * path.current_a(voltage_v)
+
+    def expected_failure_years(self, voltage_v: float,
+                               threshold_a: float = FAILURE_CURRENT_A
+                               ) -> float:
+        """Years until the mean leakage crosses the fault threshold."""
+        per_defect = LeakagePath(
+            self.mean_defect_radius_m,
+            self.water_conductivity_s_m).current_a(voltage_v)
+        if per_defect <= 0 or self.defect_rate_per_year == 0:
+            return math.inf
+        defects_needed = threshold_a / per_defect
+        return defects_needed / self.defect_rate_per_year
+
+
+#: Defect rates fitted so the leakage model's failure horizons agree
+#: with the Weibull campaign fits (PCIex4 well inside 2 years; RJ45 and
+#: mPCIe marginal at 2 years; flat parts far beyond).
+COMPONENT_DEGRADATION: dict[str, FilmDegradation] = {
+    "pciex4": FilmDegradation(defect_rate_per_year=180.0),
+    "rj45": FilmDegradation(defect_rate_per_year=18.0),
+    "mpcie": FilmDegradation(defect_rate_per_year=18.0),
+    "usb": FilmDegradation(defect_rate_per_year=2.0),
+    "pga": FilmDegradation(defect_rate_per_year=1.0),
+    "mega_avr": FilmDegradation(defect_rate_per_year=1.0),
+}
+
+
+def component_degradation(name: str) -> FilmDegradation:
+    """Look up a component class's degradation model."""
+    try:
+        return COMPONENT_DEGRADATION[name]
+    except KeyError:
+        known = ", ".join(sorted(COMPONENT_DEGRADATION))
+        raise ConfigurationError(
+            f"no degradation model for {name!r}; known: {known}"
+        ) from None
+
+
+def sea_vs_tap_acceleration() -> float:
+    """Leakage acceleration of sea water over tap water.
+
+    Sea water's ~100x conductivity makes every pinhole ~100x leakier —
+    part of why the Tokyo Bay record (53 days) is far shorter than the
+    tap-water tanks' years.
+    """
+    return SEA_WATER_CONDUCTIVITY_S_M / TAP_WATER_CONDUCTIVITY_S_M

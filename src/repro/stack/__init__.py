@@ -1,0 +1,5 @@
+"""3-D chip stack configuration and rotation schedules."""
+
+from .chipstack import StackConfig, flip_even_layers, uniform_stack
+
+__all__ = ["StackConfig", "flip_even_layers", "uniform_stack"]

@@ -1,0 +1,157 @@
+"""Coolant property records.
+
+The paper's thermal comparison hinges on one number per coolant: the
+convective heat-transfer coefficient h in W/(m**2 K) at the wetted
+surfaces. Section 3.2 sets:
+
+    air 14, mineral oil 160, fluorinert 180, water 800
+
+These are natural-convection values for the immersion case (no pumps),
+which is exactly the scenario the paper evaluates. The remaining fields
+(thermal conductivity, density, specific heat, safety/cost notes) feed
+the facility-level PUE model and the documentation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Coolant:
+    """A cooling fluid and its engineering properties.
+
+    Attributes:
+        name: identifier used across the library ("water", "air", ...).
+        h_w_m2k: natural-convection heat-transfer coefficient, W/(m**2 K).
+            This is the paper's Section 3.2 parameter.
+        conductivity_w_mk: bulk thermal conductivity of the fluid.
+        density_kg_m3: density.
+        specific_heat_j_kgk: specific heat capacity.
+        dielectric: True if the fluid is electrically insulating, i.e.
+            electronics can be immersed without a coating.
+        relative_cost: order-of-magnitude cost per litre relative to tap
+            water (=1). Used only in qualitative comparisons.
+        safety_note: short description of handling concerns.
+    """
+
+    name: str
+    h_w_m2k: float
+    conductivity_w_mk: float
+    density_kg_m3: float
+    specific_heat_j_kgk: float
+    dielectric: bool
+    relative_cost: float
+    safety_note: str
+
+    def __post_init__(self) -> None:
+        if self.h_w_m2k <= 0:
+            raise ConfigurationError(
+                f"coolant {self.name!r}: h must be positive, "
+                f"got {self.h_w_m2k}"
+            )
+
+    def convection_conductance(self, area_m2: float) -> float:
+        """Convective conductance h*A in W/K for a wetted area."""
+        if area_m2 <= 0:
+            raise ConfigurationError(
+                f"wetted area must be positive, got {area_m2}"
+            )
+        return self.h_w_m2k * area_m2
+
+    def volumetric_heat_j_m3k(self) -> float:
+        """Volumetric heat capacity rho*c_p in J/(m**3 K)."""
+        return self.density_kg_m3 * self.specific_heat_j_kgk
+
+
+# ---------------------------------------------------------------------------
+# The paper's four coolants (Section 3.2 heat-transfer coefficients)
+# ---------------------------------------------------------------------------
+
+AIR = Coolant(
+    name="air",
+    h_w_m2k=14.0,
+    conductivity_w_mk=0.026,
+    density_kg_m3=1.2,
+    specific_heat_j_kgk=1005.0,
+    dielectric=True,
+    relative_cost=0.0,
+    safety_note="none",
+)
+
+MINERAL_OIL = Coolant(
+    name="mineral_oil",
+    h_w_m2k=160.0,
+    conductivity_w_mk=0.13,
+    density_kg_m3=850.0,
+    specific_heat_j_kgk=1900.0,
+    dielectric=True,
+    relative_cost=3.0,
+    safety_note="flammable; messy to service; slow to drain",
+)
+
+FLUORINERT = Coolant(
+    name="fluorinert",
+    h_w_m2k=180.0,
+    conductivity_w_mk=0.065,
+    density_kg_m3=1850.0,
+    specific_heat_j_kgk=1100.0,
+    dielectric=True,
+    relative_cost=100.0,
+    safety_note="expensive; high global-warming potential",
+)
+
+WATER = Coolant(
+    name="water",
+    h_w_m2k=800.0,
+    conductivity_w_mk=0.6,
+    density_kg_m3=998.0,
+    specific_heat_j_kgk=4184.0,
+    dielectric=False,
+    relative_cost=1.0,
+    safety_note="conductive: requires film insulation (parylene coating)",
+)
+
+
+_LIBRARY = {c.name: c for c in (AIR, MINERAL_OIL, FLUORINERT, WATER)}
+
+
+def get_coolant(name: str) -> Coolant:
+    """Look up a built-in coolant by name.
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        return _LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(_LIBRARY))
+        raise ConfigurationError(
+            f"unknown coolant {name!r}; known coolants: {known}"
+        ) from None
+
+
+def coolant_names() -> tuple[str, ...]:
+    """Names of all built-in coolants, sorted."""
+    return tuple(sorted(_LIBRARY))
+
+
+def custom_coolant(name: str, h_w_m2k: float, *, dielectric: bool = True,
+                   conductivity_w_mk: float = 0.1,
+                   density_kg_m3: float = 1000.0,
+                   specific_heat_j_kgk: float = 2000.0,
+                   relative_cost: float = 1.0,
+                   safety_note: str = "") -> Coolant:
+    """Create an ad-hoc coolant, e.g. for the Fig. 14 h sweep."""
+    return Coolant(
+        name=name,
+        h_w_m2k=h_w_m2k,
+        conductivity_w_mk=conductivity_w_mk,
+        density_kg_m3=density_kg_m3,
+        specific_heat_j_kgk=specific_heat_j_kgk,
+        dielectric=dielectric,
+        relative_cost=relative_cost,
+        safety_note=safety_note,
+    )

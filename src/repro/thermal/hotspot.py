@@ -1,0 +1,111 @@
+"""High-level HotSpot-like facade.
+
+:class:`ThermalModel` wraps one (stack, cooling) configuration: it
+builds and factorizes the network once, then answers steady-state
+worst-case queries at any VFS step. This is the object the frequency
+optimizer and the sweep drivers hold onto.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..stack.chipstack import StackConfig
+from .network import ThermalNetwork, ThermalResult
+from .package import (
+    DEFAULT_PACKAGE,
+    PackageParams,
+    build_network,
+    die_layer_names,
+    stack_power_maps,
+)
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
+    from ..cooling.options import CoolingOption
+
+
+class ThermalModel:
+    """Steady-state thermal model of one stack under one cooling option.
+
+    The conductance matrix depends only on the configuration, so the
+    sparse LU factorization is computed once and reused for every
+    frequency — a VFS ladder search costs one factorization plus a
+    handful of triangular solves.
+
+    Args:
+        stack: the 3-D chip stack.
+        cooling: the cooling option.
+        params: package geometry/calibration constants.
+    """
+
+    def __init__(self, stack: StackConfig, cooling: CoolingOption,
+                 params: PackageParams = DEFAULT_PACKAGE) -> None:
+        self.stack = stack
+        self.cooling = cooling
+        self.params = params
+        self.network: ThermalNetwork = build_network(stack, cooling, params)
+        self._die_names = die_layer_names(stack)
+        self._result_cache: dict[float, ThermalResult] = {}
+
+    def power_maps(self, f_hz: float) -> dict[str, np.ndarray]:
+        """Per-die power maps at a VFS step (worst-case activity)."""
+        return stack_power_maps(self.stack, f_hz, self.params)
+
+    def result(self, f_hz: float) -> ThermalResult:
+        """Full solution at a VFS step (cached per frequency)."""
+        key = round(float(f_hz), 3)
+        cached = self._result_cache.get(key)
+        if cached is None:
+            cached = self.network.solve(self.power_maps(f_hz))
+            self._result_cache[key] = cached
+        return cached
+
+    def max_temperature_c(self, f_hz: float) -> float:
+        """Hottest die-cell temperature at a VFS step, Celsius.
+
+        The paper's constraint applies to junction temperature, so only
+        die layers are inspected (the heatsink is always cooler).
+        """
+        return self.result(f_hz).max_over(self._die_names)
+
+    def die_temperature_fields(self, f_hz: float) -> dict[str, np.ndarray]:
+        """Per-die (grid, grid) temperature fields — the Figs. 9/16/18 maps."""
+        res = self.result(f_hz)
+        return {name: res.layer(name) for name in self._die_names}
+
+    def per_die_max_c(self, f_hz: float) -> tuple[float, ...]:
+        """Maximum temperature of each die, bottom first."""
+        res = self.result(f_hz)
+        return tuple(res.max_of(name) for name in self._die_names)
+
+    def meets_threshold(self, f_hz: float,
+                        threshold_c: float | None = None) -> bool:
+        """True if the hottest die cell stays at/below the threshold."""
+        limit = (threshold_c if threshold_c is not None
+                 else self.stack.chip.threshold_c)
+        return self.max_temperature_c(f_hz) <= limit + 1e-9
+
+
+@lru_cache(maxsize=128)
+def _cached_model(chip_name: str, n_chips: int, rotations: tuple[bool, ...],
+                  cooling_name: str, params: PackageParams) -> ThermalModel:
+    from ..cooling.options import get_cooling
+    from ..power.processors import get_chip
+    from ..stack.chipstack import StackConfig
+    stack = StackConfig(chip=get_chip(chip_name), n_chips=n_chips,
+                        rotations=rotations)
+    return ThermalModel(stack, get_cooling(cooling_name), params)
+
+
+def model_for(chip_name: str, n_chips: int, cooling_name: str,
+              rotations: tuple[bool, ...] = (),
+              params: PackageParams = DEFAULT_PACKAGE) -> ThermalModel:
+    """Memoized model lookup for library chips and cooling options.
+
+    Sweeps over (chips x coolants x stack heights) revisit configurations
+    constantly; the cache keeps each factorization alive.
+    """
+    return _cached_model(chip_name, n_chips, rotations, cooling_name, params)

@@ -1,0 +1,209 @@
+"""Building blocks of the compact thermal network.
+
+The model follows HotSpot's structure: a stack of planar layers, each
+discretized into a regular grid of finite-volume cells. Heat moves
+
+* laterally between neighbouring cells of one layer,
+* vertically between overlapping cells of adjacent layers (through the
+  two half-layer conduction resistances plus any interface material),
+* out of the system through convective boundaries on layer faces.
+
+Layers may have different in-plane outlines and grid resolutions (a
+13 mm die sits on a 60 mm spreader on a 120 mm heatsink); vertical
+coupling distributes conductance by exact rectangle overlap, which keeps
+the network consistent under grid refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from ..floorplan.geometry import Rect, grid_edges
+from .materials import Material
+
+
+@dataclass(frozen=True)
+class GridLayer:
+    """One planar layer of the stack.
+
+    Attributes:
+        name: unique layer identifier ("die0", "spreader", ...).
+        outline: in-plane extent (shared coordinate system across layers).
+        thickness_m: layer thickness.
+        material: bulk material (conductivity used vertically and, unless
+            overridden, laterally).
+        nx, ny: grid resolution.
+        k_lateral_w_mk: optional override of the lateral conductivity,
+            for layers that are strongly anisotropic (a PCB conducts far
+            better in-plane, through its copper planes, than through its
+            glass-epoxy thickness).
+    """
+
+    name: str
+    outline: Rect
+    thickness_m: float
+    material: Material
+    nx: int
+    ny: int
+    k_lateral_w_mk: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0:
+            raise ThermalModelError(
+                f"layer {self.name!r}: thickness must be positive, "
+                f"got {self.thickness_m}"
+            )
+        if self.nx <= 0 or self.ny <= 0:
+            raise ThermalModelError(
+                f"layer {self.name!r}: grid must be at least 1x1, "
+                f"got {self.nx}x{self.ny}"
+            )
+        if self.k_lateral_w_mk is not None and self.k_lateral_w_mk <= 0:
+            raise ThermalModelError(
+                f"layer {self.name!r}: lateral conductivity override must "
+                f"be positive, got {self.k_lateral_w_mk}"
+            )
+
+    @property
+    def num_cells(self) -> int:
+        """Number of grid cells."""
+        return self.nx * self.ny
+
+    @property
+    def cell_w(self) -> float:
+        """Cell width (x direction), metres."""
+        return self.outline.w / self.nx
+
+    @property
+    def cell_h(self) -> float:
+        """Cell height (y direction), metres."""
+        return self.outline.h / self.ny
+
+    @property
+    def cell_area(self) -> float:
+        """Cell footprint area, m**2."""
+        return self.cell_w * self.cell_h
+
+    @property
+    def k_vertical(self) -> float:
+        """Through-plane conductivity, W/(m K)."""
+        return self.material.conductivity_w_mk
+
+    @property
+    def k_lateral(self) -> float:
+        """In-plane conductivity, W/(m K)."""
+        if self.k_lateral_w_mk is not None:
+            return self.k_lateral_w_mk
+        return self.material.conductivity_w_mk
+
+    @property
+    def half_resistance_m2kw(self) -> float:
+        """Per-area resistance from a cell centre to a face, m**2 K / W."""
+        return (self.thickness_m / 2.0) / self.k_vertical
+
+    def x_edges(self) -> np.ndarray:
+        """Cell edge x coordinates (nx + 1 values)."""
+        return grid_edges(self.outline.x, self.outline.w, self.nx)
+
+    def y_edges(self) -> np.ndarray:
+        """Cell edge y coordinates (ny + 1 values)."""
+        return grid_edges(self.outline.y, self.outline.h, self.ny)
+
+    def heat_capacity_per_cell_j_k(self) -> float:
+        """Cell heat capacity (transient solver), J/K."""
+        return (self.material.volumetric_heat_j_m3k
+                * self.cell_area * self.thickness_m)
+
+
+@dataclass(frozen=True)
+class Interface:
+    """Vertical coupling between two adjacent layers.
+
+    Attributes:
+        lower / upper: names of the coupled layers (lower is physically
+            below upper; the distinction matters only for readability).
+        resistance_m2kw: per-area resistance of the interface material
+            itself (TIM, glue, bond), in m**2 K / W, *excluding* the two
+            half-layer conduction terms, which the assembler adds.
+    """
+
+    lower: str
+    upper: str
+    resistance_m2kw: float
+
+    def __post_init__(self) -> None:
+        if self.resistance_m2kw < 0:
+            raise ThermalModelError(
+                f"interface {self.lower!r}-{self.upper!r}: resistance "
+                f"must be non-negative, got {self.resistance_m2kw}"
+            )
+        if self.lower == self.upper:
+            raise ThermalModelError(
+                f"interface cannot couple layer {self.lower!r} to itself"
+            )
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """Convective boundary on one face of a layer.
+
+    Heat leaves each cell through G = h_effective * area_multiplier *
+    A_cell, plus the half-layer conduction to the face, into an ambient
+    at ``t_ambient_c``. ``area_multiplier`` captures extended surfaces:
+    the paper's heatsink presents 0.3024 m**2 of fin area over a 0.0144
+    m**2 footprint (x21), and an immersed board wets both sides and its
+    components.
+
+    Attributes:
+        layer: name of the layer carrying the boundary.
+        face: "top" or "bottom" (vertical faces are neglected: die edge
+            area is ~1e-3 of the wetted area; see DESIGN.md).
+        h_w_m2k: effective surface coefficient, already including any
+            insulation film in series (see
+            :meth:`repro.cooling.CoolingOption.surface_conductance_w_m2k`).
+        area_multiplier: wetted area per unit cell footprint.
+        t_ambient_c: fluid temperature.
+        label: description for reports ("sink fins in water", ...).
+    """
+
+    layer: str
+    face: str
+    h_w_m2k: float
+    area_multiplier: float = 1.0
+    t_ambient_c: float = 25.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.face not in ("top", "bottom"):
+            raise ThermalModelError(
+                f"boundary on {self.layer!r}: face must be 'top' or "
+                f"'bottom', got {self.face!r}"
+            )
+        if self.h_w_m2k <= 0:
+            raise ThermalModelError(
+                f"boundary on {self.layer!r}: h must be positive, "
+                f"got {self.h_w_m2k}"
+            )
+        if self.area_multiplier <= 0:
+            raise ThermalModelError(
+                f"boundary on {self.layer!r}: area multiplier must be "
+                f"positive, got {self.area_multiplier}"
+            )
+
+
+def overlap_matrix(edges_a: np.ndarray, edges_b: np.ndarray) -> np.ndarray:
+    """Pairwise 1-D interval overlaps between two grids' cells.
+
+    Args:
+        edges_a: nA+1 edge coordinates of grid A.
+        edges_b: nB+1 edge coordinates of grid B.
+
+    Returns:
+        (nA, nB) array of overlap lengths (metres, >= 0).
+    """
+    lo = np.maximum(edges_a[:-1, None], edges_b[None, :-1])
+    hi = np.minimum(edges_a[1:, None], edges_b[None, 1:])
+    return np.clip(hi - lo, 0.0, None)

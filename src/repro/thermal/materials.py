@@ -1,0 +1,121 @@
+"""Material property library for the thermal model.
+
+Thermal conductivities follow the paper's Table 2 where given (heatsink
+and heat spreader copper at 400 W/mK, parylene at 0.14 W/mK, TIM/glue at
+0.25 W/mK) and standard values elsewhere (silicon, FR-4, underfill).
+
+Volumetric heat capacities are included for the transient extension; the
+steady-state solver ignores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Material:
+    """A homogeneous solid material.
+
+    Attributes:
+        name: human-readable identifier.
+        conductivity_w_mk: thermal conductivity in W/(m K).
+        volumetric_heat_j_m3k: volumetric heat capacity (rho * c_p) in
+            J/(m**3 K); used only by the transient solver.
+    """
+
+    name: str
+    conductivity_w_mk: float
+    volumetric_heat_j_m3k: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        if self.conductivity_w_mk <= 0:
+            raise ConfigurationError(
+                f"material {self.name!r}: conductivity must be positive, "
+                f"got {self.conductivity_w_mk}"
+            )
+        if self.volumetric_heat_j_m3k <= 0:
+            raise ConfigurationError(
+                f"material {self.name!r}: volumetric heat capacity must be "
+                f"positive, got {self.volumetric_heat_j_m3k}"
+            )
+
+    def sheet_resistance(self, thickness_m: float) -> float:
+        """Conduction resistance of a slab per unit area, in m**2 K / W.
+
+        Divide by the cross-section area to get K/W for a specific block.
+        """
+        if thickness_m <= 0:
+            raise ConfigurationError(
+                f"slab thickness must be positive, got {thickness_m}"
+            )
+        return thickness_m / self.conductivity_w_mk
+
+
+# ---------------------------------------------------------------------------
+# Library — values from the paper's Table 2 plus standard references
+# ---------------------------------------------------------------------------
+
+SILICON = Material("silicon", conductivity_w_mk=130.0,
+                   volumetric_heat_j_m3k=1.75e6)
+"""Bulk silicon die; 130 W/mK is the conductivity near operating
+temperature (HotSpot uses 100-150 depending on its temperature model)."""
+
+COPPER = Material("copper", conductivity_w_mk=400.0,
+                  volumetric_heat_j_m3k=3.55e6)
+"""Heat spreader / heatsink metal. Table 2 specifies 400 W/mK."""
+
+TIM = Material("tim", conductivity_w_mk=0.25, volumetric_heat_j_m3k=4.0e6)
+"""Thermal interface material / glue between dies and between the top die
+and the spreader. Table 2: 20 um thick at 0.25 W/mK."""
+
+PARYLENE = Material("parylene", conductivity_w_mk=0.14,
+                    volumetric_heat_j_m3k=1.3e6)
+"""diX C Plus parylene film (KISCO). Table 2: 120 um at 0.14 W/mK."""
+
+FR4 = Material("fr4", conductivity_w_mk=0.3, volumetric_heat_j_m3k=1.6e6)
+"""Plain glass-epoxy laminate (no copper)."""
+
+PCB = Material("pcb", conductivity_w_mk=12.0, volumetric_heat_j_m3k=1.8e6)
+"""Motherboard under/around the socket: FR-4 with the dense thermal-via
+field, copper pours, and the socket backplate that real socket regions
+carry; the effective through-plane conductivity of such a via-stitched
+region is one to two orders above bare FR-4."""
+
+PACKAGE_SUBSTRATE = Material("package-substrate", conductivity_w_mk=15.0,
+                             volumetric_heat_j_m3k=1.8e6)
+"""Organic package substrate with copper planes and via arrays; the
+effective vertical conductivity is dominated by the via/ball field."""
+
+UNDERFILL = Material("underfill", conductivity_w_mk=0.6,
+                     volumetric_heat_j_m3k=2.0e6)
+"""Underfill / micro-bump layer for face-to-face die bonds."""
+
+
+_LIBRARY = {
+    m.name: m
+    for m in (SILICON, COPPER, TIM, PARYLENE, FR4, PCB, PACKAGE_SUBSTRATE,
+              UNDERFILL)
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a library material by name.
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    try:
+        return _LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(_LIBRARY))
+        raise ConfigurationError(
+            f"unknown material {name!r}; known materials: {known}"
+        ) from None
+
+
+def material_names() -> tuple[str, ...]:
+    """Names of all built-in materials, sorted."""
+    return tuple(sorted(_LIBRARY))

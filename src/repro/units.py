@@ -1,0 +1,110 @@
+"""Physical constants and unit helpers.
+
+All quantities in the library are SI unless a suffix says otherwise:
+
+* lengths in metres, areas in m**2, volumes in m**3
+* temperatures in degrees Celsius for interfaces (the paper reports
+  Celsius throughout); Kelvin only ever appears as a *difference*, which
+  is numerically identical
+* power in watts, power density in W/m**2 (areal) or W/m**3 (volumetric)
+* thermal conductivity in W/(m K), heat-transfer coefficient in W/(m**2 K)
+* frequency in hertz; helper constants below convert from GHz/MHz
+
+Helper functions convert from the units the paper quotes (centimetres,
+micrometres, GHz) to SI, so module code reads like the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Scale factors
+# ---------------------------------------------------------------------------
+
+GHZ = 1e9
+"""Hertz per gigahertz."""
+
+MHZ = 1e6
+"""Hertz per megahertz."""
+
+MM = 1e-3
+"""Metres per millimetre."""
+
+CM = 1e-2
+"""Metres per centimetre."""
+
+UM = 1e-6
+"""Metres per micrometre."""
+
+MM2 = 1e-6
+"""Square metres per square millimetre."""
+
+CM2 = 1e-4
+"""Square metres per square centimetre."""
+
+KIB = 1024
+"""Bytes per kibibyte."""
+
+MIB = 1024 * 1024
+"""Bytes per mebibyte."""
+
+GIB = 1024 ** 3
+"""Bytes per gibibyte."""
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * GHZ
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hertz / GHZ
+
+
+def mm(value: float) -> float:
+    """Convert millimetres to metres."""
+    return value * MM
+
+
+def cm(value: float) -> float:
+    """Convert centimetres to metres."""
+    return value * CM
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * UM
+
+
+def mm2(value: float) -> float:
+    """Convert square millimetres to square metres."""
+    return value * MM2
+
+
+def cm2(value: float) -> float:
+    """Convert square centimetres to square metres."""
+    return value * CM2
+
+
+def celsius_to_kelvin(t_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin (absolute)."""
+    return t_c + 273.15
+
+
+def kelvin_to_celsius(t_k: float) -> float:
+    """Convert an absolute Kelvin temperature to Celsius."""
+    return t_k - 273.15
+
+
+# ---------------------------------------------------------------------------
+# Reference conditions used throughout the paper
+# ---------------------------------------------------------------------------
+
+AMBIENT_C = 25.0
+"""Outside / coolant inlet temperature used by the paper (Table 2)."""
+
+THRESHOLD_C = 80.0
+"""Temperature threshold the paper conservatively assumes (Section 3.1)."""
+
+E5_THRESHOLD_C = 78.0
+"""Xeon E5-2667v4 specification threshold used in Fig. 1."""

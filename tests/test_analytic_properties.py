@@ -1,0 +1,76 @@
+"""Property-based tests for the analytic performance tier."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfsim import AnalyticModel, SystemConfig, get_profile
+from repro.perfsim.npb import NPB_ORDER
+
+CFG = SystemConfig(n_chips=2)
+MODEL = AnalyticModel(CFG)
+
+freqs = st.floats(min_value=1.0e9, max_value=3.6e9)
+
+
+class TestAnalyticProperties:
+    @given(st.sampled_from(NPB_ORDER), freqs, freqs)
+    @settings(max_examples=80, deadline=None)
+    def test_time_monotone_in_frequency(self, name, f1, f2):
+        lo, hi = sorted((f1, f2))
+        if hi - lo < 1e6:
+            return
+        p = get_profile(name)
+        assert (MODEL.execution_time_s(p, hi)
+                <= MODEL.execution_time_s(p, lo) + 1e-15)
+
+    @given(st.sampled_from(NPB_ORDER), freqs, freqs)
+    @settings(max_examples=80, deadline=None)
+    def test_speedup_bounded_by_frequency_ratio(self, name, f1, f2):
+        lo, hi = sorted((f1, f2))
+        if hi / lo < 1.01:
+            return
+        p = get_profile(name)
+        rel = MODEL.relative_time(p, hi, lo)
+        # Cannot beat ideal clock scaling, cannot be slower than the
+        # reference.
+        assert lo / hi - 1e-9 <= rel <= 1.0 + 1e-9
+
+    @given(st.sampled_from(NPB_ORDER), freqs)
+    @settings(max_examples=60, deadline=None)
+    def test_beta_in_unit_interval(self, name, f):
+        b = MODEL.breakdown(get_profile(name), f)
+        assert 0.0 <= b.memory_bound_fraction < 1.0
+
+    @given(st.sampled_from(NPB_ORDER), freqs)
+    @settings(max_examples=60, deadline=None)
+    def test_beta_grows_with_frequency(self, name, f):
+        """Higher clock -> the fixed DRAM share of time grows."""
+        p = get_profile(name)
+        if p.l2_mpki == 0:
+            return
+        b_lo = MODEL.breakdown(p, f)
+        b_hi = MODEL.breakdown(p, min(f * 1.3, 3.6e9))
+        if b_hi.f_hz <= b_lo.f_hz:
+            return
+        assert (b_hi.memory_bound_fraction
+                >= b_lo.memory_bound_fraction - 1e-12)
+
+    @given(st.sampled_from(NPB_ORDER))
+    @settings(max_examples=20, deadline=None)
+    def test_imbalance_factor_at_least_one(self, name):
+        b = MODEL.breakdown(get_profile(name), 2.0e9)
+        assert b.imbalance_factor >= 1.0
+
+    @given(st.integers(min_value=1, max_value=8), freqs)
+    @settings(max_examples=30, deadline=None)
+    def test_deeper_stacks_never_faster_per_instruction(self, n, f):
+        """More tiers lengthen NoC paths: per-instruction time cannot
+        improve with stack depth at fixed thread count."""
+        p = get_profile("cg")
+        shallow = AnalyticModel(SystemConfig(n_chips=1), threads=4)
+        deep = AnalyticModel(SystemConfig(n_chips=n), threads=4)
+        assert (deep.breakdown(p, f).seconds_per_instruction
+                >= shallow.breakdown(p, f).seconds_per_instruction - 1e-15)

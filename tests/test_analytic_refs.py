@@ -1,0 +1,131 @@
+"""Tests for the closed-form thermal references and solver agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.geometry import Rect
+from repro.thermal import (
+    COPPER,
+    FinArray,
+    SILICON,
+    SlabLayer,
+    TIM,
+    series_slab_resistance,
+    spreading_resistance,
+)
+from repro.thermal.layers import Boundary, GridLayer, Interface
+from repro.thermal.network import ThermalNetwork
+
+
+class TestSeriesSlab:
+    def test_single_layer(self):
+        r = series_slab_resistance(
+            (SlabLayer(1e-3, SILICON),), (), area_m2=1e-4)
+        assert r == pytest.approx(1e-3 / SILICON.conductivity_w_mk / 1e-4)
+
+    def test_interfaces_add(self):
+        base = series_slab_resistance(
+            (SlabLayer(1e-3, SILICON), SlabLayer(1e-3, COPPER)),
+            (0.0,), area_m2=1e-4)
+        with_tim = series_slab_resistance(
+            (SlabLayer(1e-3, SILICON), SlabLayer(1e-3, COPPER)),
+            (2e-5,), area_m2=1e-4)
+        assert with_tim == pytest.approx(base + 2e-5 / 1e-4)
+
+    def test_convective_tail(self):
+        r = series_slab_resistance((SlabLayer(1e-3, COPPER),), (),
+                                   area_m2=1e-2, h_w_m2k=100.0)
+        assert r == pytest.approx(
+            (1e-3 / 400.0 + 1.0 / 100.0) / 1e-2)
+
+    def test_interface_count_validated(self):
+        with pytest.raises(ThermalModelError):
+            series_slab_resistance((SlabLayer(1e-3, SILICON),), (1e-5,),
+                                   area_m2=1e-4)
+
+    def test_grid_solver_matches_series_formula(self):
+        """Uniform flux through a 2-layer stack: grid == closed form."""
+        area = 0.01 ** 2
+        a = GridLayer("a", Rect(0, 0, 0.01, 0.01), 5e-4, SILICON, 4, 4)
+        b = GridLayer("b", Rect(0, 0, 0.01, 0.01), 1e-3, COPPER, 4, 4)
+        h = 300.0
+        net = ThermalNetwork([a, b], [Interface("a", "b", 2e-5)],
+                             [Boundary("b", "top", h)])
+        p = 6.0
+        res = net.solve({"a": np.full((4, 4), p / 16.0)})
+        # Centre-of-layer-a temperature: half of a's own resistance plus
+        # the interface, all of b, and the tail.
+        r = series_slab_resistance(
+            (SlabLayer(2.5e-4, SILICON), SlabLayer(1e-3, COPPER)),
+            (2e-5,), area_m2=area, h_w_m2k=h)
+        np.testing.assert_allclose(res.layer("a"), 25.0 + p * r,
+                                   rtol=1e-9)
+
+
+class TestSpreading:
+    def test_positive_and_scale(self):
+        r = spreading_resistance(1.69e-4, 36e-4, 1e-3, 400.0, 2000.0)
+        assert 0.01 < r < 1.0
+
+    def test_smaller_source_higher_resistance(self):
+        big = spreading_resistance(4e-4, 36e-4, 1e-3, 400.0, 2000.0)
+        small = spreading_resistance(1e-4, 36e-4, 1e-3, 400.0, 2000.0)
+        assert small > big
+
+    def test_thicker_plate_spreads_better(self):
+        thin = spreading_resistance(1.69e-4, 36e-4, 5e-4, 400.0, 2000.0)
+        thick = spreading_resistance(1.69e-4, 36e-4, 3e-3, 400.0, 2000.0)
+        assert thick < thin
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ThermalModelError):
+            spreading_resistance(1e-3, 1e-4, 1e-3, 400.0, 100.0)
+
+    def test_grid_solver_shows_constriction(self):
+        """A point source on a plate runs hotter than uniform power —
+        the constriction the closed form estimates."""
+        plate = GridLayer("p", Rect(0, 0, 0.06, 0.06), 1e-3, COPPER,
+                          12, 12)
+        net = ThermalNetwork([plate], [],
+                             [Boundary("p", "top", 2000.0)])
+        p = 50.0
+        uniform = net.solve({"p": np.full((12, 12), p / 144)})
+        point = np.zeros((12, 12))
+        point[5:7, 5:7] = p / 4
+        concentrated = net.solve({"p": point})
+        assert concentrated.max_of("p") > uniform.max_of("p") + 1.0
+
+
+class TestFinArray:
+    def test_efficiency_bounds(self):
+        fins = FinArray()
+        for h in (14.0, 160.0, 800.0):
+            eta = fins.fin_efficiency(h)
+            assert 0.0 < eta <= 1.0
+
+    def test_efficiency_falls_with_h(self):
+        fins = FinArray()
+        assert fins.fin_efficiency(800.0) < fins.fin_efficiency(14.0)
+
+    def test_air_fins_nearly_ideal(self):
+        # At h = 14 the fin Biot number is tiny: eta ~ 1. (Which is why
+        # the calibrated air_fin_utilization is a *flow* bypass factor,
+        # not a fin-conduction effect.)
+        assert FinArray().fin_efficiency(14.0) > 0.97
+
+    def test_resistance_ordering_matches_coolants(self):
+        fins = FinArray()
+        rs = [fins.resistance(h) for h in (14.0, 160.0, 180.0, 800.0)]
+        assert all(a > b for a, b in zip(rs, rs[1:]))
+
+    def test_water_resistance_scale(self):
+        # Even with imperfect fins, water turns the Table 2 array into
+        # a sub-0.01 K/W exchanger.
+        assert FinArray().resistance(800.0) < 0.01
+
+    def test_invalid_h(self):
+        with pytest.raises(ThermalModelError):
+            FinArray().fin_efficiency(0.0)

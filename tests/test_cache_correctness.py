@@ -1,0 +1,89 @@
+"""Regression tests for the performance caches.
+
+The profiling-driven optimizations (cached floorplans, shared per-die
+power maps) must be invisible: custom chips bypass the cache, cached
+arrays are immutable, and results are identical either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.floorplan.library import get_floorplan
+from repro.power.processors import get_chip
+from repro.stack.chipstack import StackConfig
+from repro.thermal.package import DEFAULT_PACKAGE, stack_power_maps
+from repro.units import ghz
+
+
+class TestFloorplanCache:
+    def test_same_object_returned(self):
+        assert get_floorplan("baseline-16tile") is get_floorplan(
+            "baseline-16tile")
+
+    def test_distinct_names_distinct_objects(self):
+        assert get_floorplan("baseline-16tile") is not get_floorplan(
+            "xeon-e5-2667v4")
+
+
+class TestPowerMapCache:
+    def test_cached_maps_are_readonly(self):
+        stack = StackConfig(chip=get_chip("low-power-cmp"), n_chips=1)
+        maps = stack_power_maps(stack, ghz(2.0))
+        with pytest.raises(ValueError):
+            maps["die0"][0, 0] = 99.0
+
+    def test_cache_shared_across_stacks(self):
+        a = stack_power_maps(
+            StackConfig(chip=get_chip("low-power-cmp"), n_chips=2),
+            ghz(2.0))
+        b = stack_power_maps(
+            StackConfig(chip=get_chip("low-power-cmp"), n_chips=3),
+            ghz(2.0))
+        assert a["die0"] is b["die0"]
+
+    def test_custom_chip_bypasses_cache(self):
+        """A modified ChipSpec (same name, different power) must not be
+        served the library chip's cached maps."""
+        base = get_chip("low-power-cmp")
+        custom = replace(base, max_power_w=base.max_power_w * 2)
+        custom_maps = stack_power_maps(
+            StackConfig(chip=custom, n_chips=1), ghz(2.0))
+        base_maps = stack_power_maps(
+            StackConfig(chip=base, n_chips=1), ghz(2.0))
+        assert custom_maps["die0"].sum() == pytest.approx(
+            2 * base_maps["die0"].sum())
+        # And the custom result is writable (freshly built).
+        custom_maps["die0"][0, 0] = 0.0
+
+    def test_rotated_maps_differ_from_plain(self):
+        plain = stack_power_maps(
+            StackConfig(chip=get_chip("high-frequency-cmp"), n_chips=1),
+            ghz(3.6))
+        rot = stack_power_maps(
+            StackConfig(chip=get_chip("high-frequency-cmp"), n_chips=1,
+                        rotations=(True,)), ghz(3.6))
+        assert not np.allclose(plain["die0"], rot["die0"])
+        np.testing.assert_allclose(rot["die0"], plain["die0"][::-1, ::-1])
+
+    def test_grid_resolution_keyed(self):
+        stack = StackConfig(chip=get_chip("low-power-cmp"), n_chips=1)
+        fine = stack_power_maps(stack, ghz(2.0), DEFAULT_PACKAGE)
+        coarse = stack_power_maps(
+            stack, ghz(2.0), replace(DEFAULT_PACKAGE, die_grid=8))
+        assert fine["die0"].shape != coarse["die0"].shape
+        assert fine["die0"].sum() == pytest.approx(
+            coarse["die0"].sum(), rel=1e-9)
+
+
+class TestChartBounds:
+    def test_explicit_y_bounds_clip(self):
+        from repro.analysis.charts import ascii_chart
+        out = ascii_chart({"a": ([0, 1, 2], [0.0, 5.0, 100.0])},
+                          y_min=0.0, y_max=10.0)
+        # The 100.0 point is outside the canvas; the chart still renders.
+        assert "o = a" in out
+        assert "10" in out.splitlines()[0]

@@ -1,0 +1,194 @@
+"""Tests for cache models, address streams, and the DRAM model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfsim.cache import (
+    DEFAULT_HIERARCHY,
+    CacheHierarchyTiming,
+    SetAssociativeCache,
+    SyntheticAddressStream,
+)
+from repro.perfsim.memory import (
+    DEFAULT_DRAM,
+    DramParams,
+    MemoryController,
+    MemorySystem,
+)
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, line_bytes=64, associativity=2)
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True     # same line
+        assert c.access(64) is False    # next line
+
+    def test_capacity_eviction_lru(self):
+        # 2-way, line 64: one set cache of 128 B.
+        c = SetAssociativeCache(128, line_bytes=64, associativity=2)
+        assert c.num_sets == 1
+        c.access(0)            # A
+        c.access(64)           # B
+        c.access(0)            # touch A -> B is LRU
+        c.access(128)          # C evicts B
+        assert c.contains(0)
+        assert not c.contains(64)
+        assert c.contains(128)
+        assert c.stats.evictions == 1
+
+    def test_sets_isolate_indices(self):
+        c = SetAssociativeCache(2048, line_bytes=64, associativity=2)
+        a = 0
+        b = 64 * c.num_sets    # same set as a, different tag
+        other_set = 64         # different set
+        c.access(a)
+        c.access(other_set)
+        assert c.contains(a)
+        c.access(b)
+        assert c.contains(a)   # 2-way: both fit
+
+    def test_invalidate(self):
+        c = SetAssociativeCache(1024)
+        c.access(0)
+        assert c.invalidate(0) is True
+        assert c.invalidate(0) is False
+        assert not c.contains(0)
+
+    def test_flush_keeps_stats(self):
+        c = SetAssociativeCache(1024)
+        c.access(0)
+        c.flush()
+        assert c.occupancy == 0
+        assert c.stats.accesses == 1
+
+    def test_miss_rate(self):
+        c = SetAssociativeCache(1024)
+        for _ in range(4):
+            c.access(0)
+        assert c.stats.miss_rate == pytest.approx(0.25)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1000, line_bytes=64, associativity=8)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(1024).access(-1)
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = SetAssociativeCache(4096, line_bytes=64, associativity=4)
+        rng = np.random.default_rng(0)
+        for a in rng.integers(0, 1 << 20, 2000):
+            c.access(int(a) * 64)
+        assert c.occupancy <= 4096 // 64
+
+
+class TestHierarchyTiming:
+    def test_table1_values(self):
+        h = DEFAULT_HIERARCHY
+        assert h.l1_cycles == 1
+        assert h.l2_cycles == 6
+        assert h.l2_total_bytes == 12 * 1024 * 1024
+        assert h.line_bytes == 64
+        assert h.l2_associativity == 8
+
+    def test_home_bank_interleaves(self):
+        h = DEFAULT_HIERARCHY
+        banks = {h.home_bank(line * 64) for line in range(24)}
+        assert banks == set(range(12))
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchyTiming(l1_cycles=0)
+
+
+class TestAddressStream:
+    def test_reproducible(self):
+        a = SyntheticAddressStream(hot_lines=64, warm_lines=1024,
+                                   p_hot=0.8, p_warm=0.15, seed=7)
+        b = SyntheticAddressStream(hot_lines=64, warm_lines=1024,
+                                   p_hot=0.8, p_warm=0.15, seed=7)
+        np.testing.assert_array_equal(a.next_addresses(500),
+                                      b.next_addresses(500))
+
+    def test_alignment(self):
+        s = SyntheticAddressStream(hot_lines=16, warm_lines=64,
+                                   p_hot=0.5, p_warm=0.4)
+        assert np.all(s.next_addresses(100) % 64 == 0)
+
+    def test_cold_addresses_never_repeat(self):
+        s = SyntheticAddressStream(hot_lines=4, warm_lines=8,
+                                   p_hot=0.0, p_warm=0.0)
+        a = s.next_addresses(100)
+        assert len(np.unique(a)) == 100
+
+    def test_hot_set_produces_l1_hits(self):
+        s = SyntheticAddressStream(hot_lines=32, warm_lines=4096,
+                                   p_hot=0.95, p_warm=0.04, seed=1)
+        l1 = SetAssociativeCache(128 * 1024, associativity=8)
+        misses = sum(not l1.access(int(a)) for a in s.next_addresses(20000))
+        mpki = misses / 20.0
+        assert mpki < 60.0   # dominated by the resident hot set
+
+    def test_streaming_defeats_any_cache(self):
+        s = SyntheticAddressStream(hot_lines=8, warm_lines=8,
+                                   p_hot=0.0, p_warm=0.0)
+        l1 = SetAssociativeCache(128 * 1024, associativity=8)
+        misses = sum(not l1.access(int(a)) for a in s.next_addresses(5000))
+        assert misses == 5000
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticAddressStream(hot_lines=8, warm_lines=8,
+                                   p_hot=0.7, p_warm=0.5)
+
+
+class TestDram:
+    def test_idle_latency_matches_table1_anchor(self):
+        from repro.perfsim.memory import (
+            MEMORY_LATENCY_CYCLES_AT_REF,
+            MEMORY_REFERENCE_CLOCK_HZ,
+        )
+        assert DEFAULT_DRAM.idle_latency_s == pytest.approx(
+            MEMORY_LATENCY_CYCLES_AT_REF / MEMORY_REFERENCE_CLOCK_HZ)
+
+    def test_unloaded_access(self):
+        c = MemoryController()
+        done = c.access(1e-6)
+        assert done == pytest.approx(1e-6 + DEFAULT_DRAM.idle_latency_s)
+
+    def test_back_to_back_queueing(self):
+        c = MemoryController()
+        t1 = c.access(0.0)
+        t2 = c.access(0.0)
+        assert t2 == pytest.approx(t1 + DEFAULT_DRAM.service_time_s)
+
+    def test_idle_gap_no_queueing(self):
+        c = MemoryController()
+        c.access(0.0)
+        done = c.access(1.0)
+        assert done == pytest.approx(1.0 + DEFAULT_DRAM.idle_latency_s)
+
+    def test_system_interleaves_controllers(self):
+        m = MemorySystem()
+        ctrls = {m.controller_for(line * 64) for line in range(8)}
+        assert ctrls == set(range(4))
+
+    def test_system_access_counts(self):
+        m = MemorySystem()
+        for line in range(8):
+            m.access(0.0, line * 64)
+        assert sum(c.requests for c in m.controllers) == 8
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramParams(idle_latency_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DramParams(num_controllers=0)

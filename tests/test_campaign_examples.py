@@ -1,0 +1,79 @@
+"""Tests for the campaign records, plus smoke runs of every example."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import paper
+from repro.errors import ConfigurationError
+from repro.prototype.experiments import (
+    CAMPAIGN,
+    fleet_summary,
+    longest_run_days,
+    memory_failures_are_environment_independent,
+    runs_in,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestCampaignRecords:
+    def test_five_test_boards(self):
+        boards = [r for r in CAMPAIGN if r.device.startswith("test-board")]
+        assert len(boards) == paper.TESTBOARD_COUNT
+        assert all(r.ongoing for r in boards)
+        assert all(r.duration_days >= 730.0 for r in boards)
+
+    def test_films_match_paper(self):
+        films = {r.film_um for r in CAMPAIGN if r.film_um > 0}
+        assert films == set(paper.FILM_WORKING_UM)
+
+    def test_bay_record(self):
+        assert longest_run_days("tokyo-bay") == paper.TOKYO_BAY_RECORD_DAYS
+
+    def test_bay_shorter_than_tap(self):
+        # "that record is shorter than the case under-tapped water".
+        assert (longest_run_days("tokyo-bay")
+                < longest_run_days("tap-water-tank"))
+
+    def test_memory_failures_not_immersion_related(self):
+        assert memory_failures_are_environment_independent()
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            runs_in("mariana-trench")
+
+    def test_fleet_summary_consistent(self):
+        s = fleet_summary()
+        assert s["coated_devices"] >= 9
+        assert s["device_days"] > 3000
+        assert s["bay_record_days"] == paper.TOKYO_BAY_RECORD_DAYS
+
+    def test_fujitsu_day7_story(self):
+        run = next(r for r in CAMPAIGN if r.device == "fujitsu-tx1320m2")
+        assert run.duration_days == 7.0
+        assert run.failure_component == "memory_slot"
+        assert "iRMC" in run.outcome
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "design_3d_stack.py",
+    "datacenter_natural_water.py",
+    "npb_full_system.py",
+    "prototype_immersion.py",
+    "dtm_throttling.py",
+    "roadmap_2033.py",
+])
+def test_example_runs_clean(script):
+    """Every shipped example must execute end to end."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

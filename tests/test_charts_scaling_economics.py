@@ -1,0 +1,157 @@
+"""Tests for the ASCII charts, thread scaling, and cooling economics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.charts import ascii_chart, chart_frequency_series
+from repro.cli import main
+from repro.cooling.economics import (
+    coolant_cost_ranking,
+    coolant_fill_cost_usd,
+    node_tco,
+    tco_comparison,
+)
+from repro.errors import ConfigurationError
+from repro.perfsim.scaling import parallel_efficiency_at_full, thread_scaling
+from repro.thermal.coolants import get_coolant
+from repro.units import ghz
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"a": ([1, 2, 3], [1.0, 2.0, 3.0])})
+        assert "o = a" in out
+        assert out.count("\n") > 10
+
+    def test_multiple_series_markers(self):
+        out = ascii_chart({"a": ([1, 2], [1, 2]),
+                           "b": ([1, 2], [2, 1])})
+        assert "o = a" in out and "x = b" in out
+
+    def test_nonfinite_points_skipped(self):
+        out = ascii_chart({"a": ([1, 2, 3], [1.0, math.nan, 3.0])})
+        assert "o = a" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": ([], [])})
+
+    def test_small_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": ([1], [1])}, width=2, height=2)
+
+    def test_axis_labels_present(self):
+        out = ascii_chart({"a": ([0, 10], [0, 5])}, x_label="chips",
+                          y_label="GHz")
+        assert "x: chips" in out and "y: GHz" in out
+
+    def test_frequency_chart_drops_infeasible(self, fast_params):
+        from repro.core.sweeps import frequency_vs_chips
+        series = frequency_vs_chips("low-power-cmp", (1, 2, 10),
+                                    ("air",), params=fast_params)
+        out = chart_frequency_series(series, title="t")
+        assert out.startswith("t")
+
+
+class TestThreadScaling:
+    def test_speedup_monotone(self):
+        pts = thread_scaling("mg", 6, ghz(1.6))
+        speedups = [p.speedup for p in pts]
+        assert all(a < b for a, b in zip(speedups, speedups[1:]))
+
+    def test_speedup_bounded_by_threads(self):
+        for p in thread_scaling("cg", 6, ghz(1.6)):
+            assert p.speedup <= p.threads + 1e-9
+
+    def test_ep_scales_best(self):
+        ep = parallel_efficiency_at_full("ep", 6, ghz(1.6))
+        cg = parallel_efficiency_at_full("cg", 6, ghz(1.6))
+        assert ep > cg
+
+    def test_efficiency_definition(self):
+        pts = thread_scaling("sp", 6, ghz(1.6))
+        for p in pts:
+            assert p.efficiency == pytest.approx(p.speedup / p.threads)
+
+    def test_invalid_thread_count(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            thread_scaling("cg", 6, ghz(1.6), thread_counts=(99,))
+
+    def test_paper_operating_point_reasonable(self):
+        """One thread per core stays above 85 % efficiency for every
+        NPB program — the paper's configuration is sane."""
+        from repro.perfsim.npb import NPB_ORDER
+        for name in NPB_ORDER:
+            assert parallel_efficiency_at_full(name, 6, ghz(1.6)) > 0.85
+
+
+class TestEconomics:
+    def test_intro_cost_ranking(self):
+        """The paper's intro: water cheaper than oil, far cheaper than
+        fluorinert."""
+        ranking = coolant_cost_ranking()
+        assert (ranking["water"] < ranking["mineral_oil"]
+                < ranking["fluorinert"])
+
+    def test_fluorinert_two_orders_over_water(self):
+        ranking = coolant_cost_ranking()
+        assert ranking["fluorinert"] / ranking["water"] >= 50
+
+    def test_fill_cost_scales_with_volume(self):
+        w = get_coolant("water")
+        assert coolant_fill_cost_usd(w, 2000.0) == pytest.approx(
+            2 * coolant_fill_cost_usd(w, 1000.0))
+
+    def test_invalid_volume(self):
+        with pytest.raises(ConfigurationError):
+            coolant_fill_cost_usd(get_coolant("water"), 0.0)
+
+    def test_water_lowest_energy_cost(self):
+        tco = tco_comparison()
+        assert tco["water"].energy_usd == min(
+            t.energy_usd for t in tco.values())
+
+    def test_air_highest_energy_cost(self):
+        tco = tco_comparison()
+        assert tco["air"].energy_usd == max(
+            t.energy_usd for t in tco.values())
+
+    def test_coating_in_water_capex(self):
+        tco = tco_comparison()
+        assert tco["water"].capex_usd > tco["mineral_oil"].capex_usd
+
+    def test_longer_life_favors_water(self):
+        """Energy dominates over time, so water's total overtakes oil's
+        as the service life grows."""
+        short = {n: node_tco(n, years=2.0).total_usd
+                 for n in ("water", "mineral_oil")}
+        long = {n: node_tco(n, years=10.0).total_usd
+                for n in ("water", "mineral_oil")}
+        gap_short = short["water"] - short["mineral_oil"]
+        gap_long = long["water"] - long["mineral_oil"]
+        assert gap_long < gap_short
+
+    def test_unknown_cooling(self):
+        with pytest.raises(ConfigurationError):
+            node_tco("peltier")
+
+
+class TestSpecCli:
+    def test_spec_command(self, capsys):
+        rc = main(["spec", '{"chip": "low-power-cmp", "n_chips": 1, '
+                           '"cooling": "water", "benchmarks": ["ep"]}'])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2.0 GHz" in out and "EP" in out
+
+    def test_spec_infeasible_exit(self, capsys):
+        rc = main(["spec", '{"chip": "low-power-cmp", "n_chips": 14, '
+                           '"cooling": "air"}'])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().out

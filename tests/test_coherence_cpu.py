@@ -1,0 +1,178 @@
+"""Tests for the MOESI directory model, core model, and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfsim.coherence import DirectoryModel, TransactionKind
+from repro.perfsim.cpu import InOrderCore, mix_base_cpi
+from repro.perfsim.noc.topology import NodeId
+from repro.perfsim.npb import NPB_ORDER, NPB_PROFILES, get_profile
+from repro.perfsim.workload import InstructionMix, WorkloadProfile
+from repro.units import ghz
+
+
+class TestInstructionMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(SimulationError):
+            InstructionMix(0.5, 0.5, 0.5, 0.0, 0.0)
+
+    def test_memory_fraction(self):
+        m = InstructionMix(0.3, 0.3, 0.25, 0.10, 0.05)
+        assert m.memory_fraction == pytest.approx(0.35)
+
+    def test_base_cpi_weighted(self):
+        m = InstructionMix(1.0, 0.0, 0.0, 0.0, 0.0)
+        assert mix_base_cpi(m) == pytest.approx(1.0)
+
+
+class TestWorkloadProfiles:
+    def test_all_nine_programs(self):
+        assert len(NPB_ORDER) == 9
+        assert set(NPB_ORDER) == set(NPB_PROFILES)
+
+    def test_l2_subset_of_l1(self):
+        for p in NPB_PROFILES.values():
+            assert p.l2_mpki <= p.l1_mpki
+
+    def test_ep_is_compute_bound(self):
+        ep = get_profile("ep")
+        others = [p.l2_mpki for n, p in NPB_PROFILES.items() if n != "ep"]
+        assert ep.l2_mpki < min(others)
+
+    def test_is_and_cg_most_memory_bound(self):
+        ranked = sorted(NPB_PROFILES.values(), key=lambda p: -p.l2_mpki)
+        assert {ranked[0].name, ranked[1].name} == {"is", "cg"}
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(SimulationError, match="subset"):
+            WorkloadProfile(
+                name="bad",
+                mix=get_profile("ep").mix,
+                base_cpi=1.0, l1_mpki=1.0, l2_mpki=2.0,
+                sharing_fraction=0.1, barrier_interval_kinstr=10.0,
+                imbalance_cv=0.0)
+
+    def test_unknown_profile(self):
+        with pytest.raises(SimulationError):
+            get_profile("linpack")
+
+    def test_memory_stall_helper_monotone_in_dram(self):
+        p = get_profile("cg")
+        slow = p.memory_stall_seconds_per_instr(3e-9, 200e-9, 15e-9, 25e-9)
+        fast = p.memory_stall_seconds_per_instr(3e-9, 50e-9, 15e-9, 25e-9)
+        assert slow > fast
+
+
+class TestDirectoryModel:
+    def make(self, seed=0):
+        return DirectoryModel(l1_mpki=40.0, l2_mpki=10.0,
+                              sharing_fraction=0.3, seed=seed)
+
+    def test_kind_distribution(self):
+        d = self.make()
+        kinds = [d.sample_kind() for _ in range(4000)]
+        frac_miss = sum(k is TransactionKind.L2_MISS for k in kinds) / 4000
+        assert frac_miss == pytest.approx(0.25, abs=0.03)
+
+    def test_reproducible(self):
+        a = [self.make(seed=5).sample_kind() for _ in range(50)]
+        b = [self.make(seed=5).sample_kind() for _ in range(50)]
+        assert a == b
+
+    def test_owner_excludes_requester(self):
+        d = self.make()
+        cands = (NodeId(0, 0, 0), NodeId(0, 1, 0), NodeId(0, 2, 0))
+        for _ in range(50):
+            owner = d.sample_owner(cands, exclude=cands[0])
+            assert owner != cands[0]
+
+    def test_l2_hit_legs(self):
+        d = self.make()
+        txn = d.build_transaction(TransactionKind.L2_HIT, NodeId(0, 0, 0),
+                                  NodeId(0, 2, 2), None, NodeId(0, 3, 3))
+        assert len(txn.legs) == 2
+        assert not txn.needs_dram
+        assert txn.legs[0].message_class == "request"
+        assert txn.legs[1].is_data
+
+    def test_forward_legs(self):
+        d = self.make()
+        txn = d.build_transaction(TransactionKind.L2_HIT_FORWARD,
+                                  NodeId(0, 0, 0), NodeId(0, 2, 2),
+                                  NodeId(0, 1, 0), NodeId(0, 3, 3))
+        assert len(txn.legs) == 3
+        assert txn.legs[1].message_class == "forward"
+        assert txn.legs[2].src == NodeId(0, 1, 0)
+        assert txn.legs[2].dst == NodeId(0, 0, 0)
+
+    def test_forward_requires_owner(self):
+        d = self.make()
+        with pytest.raises(SimulationError, match="owner"):
+            d.build_transaction(TransactionKind.L2_HIT_FORWARD,
+                                NodeId(0, 0, 0), NodeId(0, 2, 2), None,
+                                NodeId(0, 3, 3))
+
+    def test_l2_miss_goes_through_memory(self):
+        d = self.make()
+        txn = d.build_transaction(TransactionKind.L2_MISS, NodeId(0, 0, 0),
+                                  NodeId(0, 2, 2), None, NodeId(0, 3, 3))
+        assert txn.needs_dram
+        assert txn.legs[1].dst == NodeId(0, 3, 3)
+        assert txn.legs[-1].dst == NodeId(0, 0, 0)
+
+    def test_invalid_mpki_rejected(self):
+        with pytest.raises(SimulationError):
+            DirectoryModel(l1_mpki=5.0, l2_mpki=10.0, sharing_fraction=0.1)
+
+
+class TestInOrderCore:
+    def test_segment_respects_budget(self):
+        core = InOrderCore(0, get_profile("cg"), ghz(2.0), seed=1)
+        n, t, miss = core.next_segment(100)
+        assert 1 <= n <= 100
+        assert t > 0
+
+    def test_compute_time_scales_with_frequency(self):
+        slow = InOrderCore(0, get_profile("ep"), ghz(1.0), seed=2)
+        fast = InOrderCore(0, get_profile("ep"), ghz(2.0), seed=2)
+        n1, t1, _ = slow.next_segment(10_000)
+        n2, t2, _ = fast.next_segment(10_000)
+        assert n1 == n2   # same seed, same stream
+        assert t1 == pytest.approx(2 * t2)
+
+    def test_ep_misses_far_apart(self):
+        # EP: 2 MPKI -> mean gap ~500 instructions between misses.
+        core = InOrderCore(0, get_profile("ep"), ghz(2.0), seed=3)
+        lengths = [core.next_segment(1_000_000)[0] for _ in range(200)]
+        assert np.mean(lengths) > 200
+
+    def test_cg_misses_often(self):
+        core = InOrderCore(0, get_profile("cg"), ghz(2.0), seed=3)
+        segments = [core.next_segment(10_000)[2] for _ in range(20)]
+        assert any(segments)
+
+    def test_stall_accounting(self):
+        core = InOrderCore(0, get_profile("cg"), ghz(2.0))
+        core.record_stall(1e-6)
+        assert core.state.stall_s == pytest.approx(1e-6)
+
+    def test_barrier_work_mean(self):
+        core = InOrderCore(0, get_profile("mg"), ghz(2.0), seed=4)
+        draws = [core.barrier_work(20.0, 0.05) for _ in range(300)]
+        assert np.mean(draws) == pytest.approx(20_000, rel=0.05)
+
+    def test_barrier_work_no_cv_deterministic(self):
+        core = InOrderCore(0, get_profile("mg"), ghz(2.0))
+        assert core.barrier_work(20.0, 0.0) == 20_000
+
+    def test_zero_budget_rejected(self):
+        core = InOrderCore(0, get_profile("cg"), ghz(2.0))
+        with pytest.raises(SimulationError):
+            core.next_segment(0)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            InOrderCore(0, get_profile("cg"), 0.0)

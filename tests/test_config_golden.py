@@ -1,0 +1,127 @@
+"""Declarative experiment specs + golden regression values.
+
+The golden tests pin the key numbers of the calibrated default
+configuration so unintended drift (a changed constant, a solver edit)
+is caught immediately; intentional recalibration updates them together
+with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import ExperimentSpec
+from repro.errors import ConfigurationError
+from repro.units import ghz
+
+
+class TestExperimentSpec:
+    def test_run_matches_quick_api(self):
+        spec = ExperimentSpec(chip="high-frequency-cmp", n_chips=4,
+                              cooling="water", flip=True)
+        res = spec.run()
+        quick = repro.quick_max_frequency("high-frequency-cmp", 4,
+                                          "water", flip=True)
+        assert res.f_ghz == pytest.approx(quick.f_ghz)
+        assert res.max_temp_c == pytest.approx(quick.max_temp_c)
+
+    def test_dict_roundtrip(self):
+        spec = ExperimentSpec(n_chips=6, cooling="mineral_oil",
+                              benchmarks=("cg", "ep"), label="probe")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_with_cooling(self):
+        spec = ExperimentSpec().with_cooling("air")
+        assert spec.cooling == "air"
+
+    def test_package_overrides_apply(self):
+        spec = ExperimentSpec(
+            n_chips=2, package_overrides={"die_grid": 8})
+        assert spec.package_params().die_grid == 8
+
+    def test_benchmark_subset(self):
+        res = ExperimentSpec(n_chips=2, benchmarks=("ep",)).run()
+        assert set(res.npb_time_s) == {"ep"}
+
+    def test_infeasible_run(self):
+        res = ExperimentSpec(chip="low-power-cmp", n_chips=14,
+                             cooling="air").run()
+        assert not res.feasible
+        assert res.npb_time_s == {}
+
+    def test_speedup_between_specs(self):
+        water = ExperimentSpec(chip="low-power-cmp", n_chips=6,
+                               cooling="water", benchmarks=("ep",)).run()
+        pipe = water.spec.with_cooling("water_pipe").run()
+        s = water.speedup_over(pipe)
+        assert s["ep"] > 1.0
+
+    def test_speedup_requires_feasible(self):
+        ok = ExperimentSpec(n_chips=1).run()
+        bad = ExperimentSpec(chip="low-power-cmp", n_chips=14,
+                             cooling="air").run()
+        with pytest.raises(ConfigurationError):
+            ok.speedup_over(bad)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(n_chips=0)
+
+
+class TestGoldenValues:
+    """Frozen outputs of the calibrated defaults (tolerance one ladder
+    step / a fraction of a degree). Update together with EXPERIMENTS.md
+    on intentional recalibration only."""
+
+    def test_golden_frequencies(self):
+        golden = {
+            ("low-power-cmp", 1, "air"): 2.0,
+            ("low-power-cmp", 4, "air"): 1.2,
+            ("low-power-cmp", 7, "water_pipe"): 1.1,
+            ("low-power-cmp", 8, "mineral_oil"): 1.3,
+            ("low-power-cmp", 8, "water"): 1.4,
+            ("high-frequency-cmp", 4, "water"): 3.2,
+            ("high-frequency-cmp", 8, "water"): 2.2,
+            ("xeon-e5-2667v4", 3, "water"): 3.2,
+            ("xeon-phi-7290", 1, "water"): 1.6,
+        }
+        for (chip, n, cool), f in golden.items():
+            p = repro.quick_max_frequency(chip, n, cool)
+            assert p.f_ghz == pytest.approx(f, abs=0.01), (chip, n, cool)
+
+    def test_golden_infeasible(self):
+        for chip, n, cool in (
+            ("low-power-cmp", 8, "water_pipe"),
+            ("low-power-cmp", 6, "air"),
+            ("xeon-e5-2667v4", 4, "air"),
+            ("xeon-phi-7290", 3, "water_pipe"),
+        ):
+            assert not repro.quick_max_frequency(chip, n, cool).feasible
+
+    def test_golden_flip_point(self):
+        p = repro.quick_max_frequency("high-frequency-cmp", 4, "water",
+                                      flip=True)
+        assert p.f_ghz == pytest.approx(3.6)
+        assert p.max_temp_c == pytest.approx(79.9, abs=0.3)
+
+    def test_golden_prototype(self):
+        from repro.prototype import PrototypeBoardModel
+        f4 = PrototypeBoardModel().figure4()
+        assert f4["air"] == pytest.approx(76.0, abs=0.05)
+        assert f4["full_immersion"] == pytest.approx(56.0, abs=0.05)
+
+    def test_golden_headline_band(self):
+        from repro.core.cosim import run_npb_comparison
+        lp8 = run_npb_comparison("low-power-cmp", 8,
+                                 reference="mineral_oil")
+        gain = 1.0 - lp8.average_relative("water")
+        assert gain == pytest.approx(0.046, abs=0.01)
+
+    def test_golden_npb_relative_cg(self):
+        from repro.core.cosim import run_npb_comparison
+        lp6 = run_npb_comparison("low-power-cmp", 6,
+                                 reference="water_pipe")
+        rel = lp6.relative_times("water")
+        assert rel["cg"] == pytest.approx(0.874, abs=0.02)
+        assert rel["ep"] == pytest.approx(0.757, abs=0.02)

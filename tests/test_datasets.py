@@ -1,0 +1,130 @@
+"""Consistency tests: the digitized paper numbers vs the library config.
+
+These catch silent drift between the dataset (what the paper says) and
+the configuration objects (what the library uses).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooling import WATER_IMMERSION, get_cooling
+from repro.datasets import paper
+from repro.perfsim import (
+    DEFAULT_HIERARCHY,
+    DEFAULT_ROUTER,
+    MEMORY_LATENCY_CYCLES_AT_REF,
+    NPB_ORDER,
+)
+from repro.power import HIGH_FREQUENCY_CMP, LOW_POWER_CMP, TECH_22NM_HP
+from repro.thermal import DEFAULT_PACKAGE, PARYLENE, get_coolant
+from repro.units import KIB, MIB, ghz
+
+
+class TestTable1Consistency:
+    def test_core_count(self):
+        assert LOW_POWER_CMP.num_cores == paper.TABLE1["num_cores"]
+
+    def test_cache_sizes(self):
+        t1 = paper.TABLE1
+        assert DEFAULT_HIERARCHY.l1i_size_bytes == t1["l1i_kib"] * KIB
+        assert DEFAULT_HIERARCHY.l1_size_bytes == t1["l1d_kib"] * KIB
+        assert DEFAULT_HIERARCHY.l2_total_bytes == t1["l2_mib"] * MIB
+        assert DEFAULT_HIERARCHY.line_bytes == t1["line_bytes"]
+
+    def test_cache_latencies(self):
+        assert DEFAULT_HIERARCHY.l1_cycles == paper.TABLE1[
+            "l1_latency_cycles"]
+        assert DEFAULT_HIERARCHY.l2_cycles == paper.TABLE1[
+            "l2_latency_cycles"]
+
+    def test_memory_latency_cycles(self):
+        assert MEMORY_LATENCY_CYCLES_AT_REF == paper.TABLE1[
+            "memory_latency_cycles"]
+
+    def test_power_anchors(self):
+        assert LOW_POWER_CMP.total_power_w(
+            ghz(paper.TABLE1["max_power_low_ghz"])) == pytest.approx(
+            paper.TABLE1["max_power_low_w"])
+        assert HIGH_FREQUENCY_CMP.total_power_w(
+            ghz(paper.TABLE1["max_power_high_ghz"])) == pytest.approx(
+            paper.TABLE1["max_power_high_w"])
+
+    def test_die_area(self):
+        area_mm2 = LOW_POWER_CMP.floorplan().die_area * 1e6
+        assert area_mm2 == pytest.approx(paper.TABLE1["area_mm2"])
+
+    def test_noc_parameters(self):
+        t1 = paper.TABLE1
+        assert DEFAULT_ROUTER.num_vcs == t1["num_vcs"]
+        assert DEFAULT_ROUTER.vc_buffer_flits == t1["buffer_flits_per_vc"]
+        assert DEFAULT_ROUTER.control_flits == t1["control_flits"]
+        assert DEFAULT_ROUTER.data_flits == t1["data_flits"]
+
+
+class TestTable2Consistency:
+    def test_heatsink(self):
+        t2 = paper.TABLE2
+        assert DEFAULT_PACKAGE.sink_side_m == pytest.approx(
+            t2["heatsink_cm"][0] / 100.0)
+        assert DEFAULT_PACKAGE.sink_fin_area_m2 == t2["heatsink_area_m2"]
+
+    def test_spreader(self):
+        t2 = paper.TABLE2
+        assert DEFAULT_PACKAGE.spreader_side_m == pytest.approx(
+            t2["spreader_cm"][0] / 100.0)
+        assert DEFAULT_PACKAGE.spreader_thickness_m == pytest.approx(
+            t2["spreader_cm"][2] / 100.0)
+
+    def test_parylene(self):
+        t2 = paper.TABLE2
+        assert WATER_IMMERSION.film_thickness_m == pytest.approx(
+            t2["parylene_um"] * 1e-6)
+        assert PARYLENE.conductivity_w_mk == t2["parylene_k_w_mk"]
+
+    def test_ambient(self):
+        assert DEFAULT_PACKAGE.ambient_c == paper.TABLE2["outside_temp_c"]
+
+
+class TestSection3Consistency:
+    def test_alpha(self):
+        assert TECH_22NM_HP.alpha == paper.ALPHA_VELOCITY_SATURATION
+
+    def test_heat_transfer_coefficients(self):
+        for name, h in paper.HEAT_TRANSFER_W_M2K.items():
+            assert get_coolant(name).h_w_m2k == h
+
+    def test_vfs_ladders(self):
+        lp = paper.VFS_LOW_POWER
+        assert LOW_POWER_CMP.ladder.num_steps == lp["steps"]
+        assert LOW_POWER_CMP.ladder.f_min_hz == pytest.approx(
+            ghz(lp["min_ghz"]))
+        hf = paper.VFS_HIGH_FREQ
+        assert HIGH_FREQUENCY_CMP.ladder.num_steps == hf["steps"]
+        assert HIGH_FREQUENCY_CMP.ladder.step_hz == pytest.approx(
+            ghz(hf["step_ghz"]))
+
+    def test_thresholds(self):
+        assert LOW_POWER_CMP.threshold_c == paper.THRESHOLD_C
+        from repro.power import XEON_E5_2667V4
+        assert XEON_E5_2667V4.threshold_c == paper.E5_THRESHOLD_C
+
+    def test_nine_npb_programs(self):
+        assert len(NPB_ORDER) == paper.NPB_PROGRAMS
+
+    def test_thread_counts(self):
+        from repro.perfsim import SystemConfig
+        for n, threads in paper.NPB_THREADS.items():
+            assert SystemConfig(n_chips=n).total_cores == threads
+
+
+class TestProtoConsistency:
+    def test_film_thicknesses(self):
+        from repro.prototype import PAPER_THICKNESSES_M
+        assert tuple(t * 1e6 for t in PAPER_THICKNESSES_M) == (
+            paper.FILM_WORKING_UM)
+
+    def test_cooling_names_cover_paper_order(self):
+        for name in ("air", "water_pipe", "mineral_oil", "fluorinert",
+                     "water"):
+            assert get_cooling(name).name == name

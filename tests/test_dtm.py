@@ -1,0 +1,100 @@
+"""Tests for the DTM controller extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cooling import get_cooling
+from repro.core.dtm import DtmController, DtmPolicy, dtm_vs_static
+from repro.errors import ConfigurationError
+from repro.power import get_chip
+from repro.stack import uniform_stack
+from repro.thermal import ThermalModel
+
+
+@pytest.fixture(scope="module")
+def pipe_model(fast_params):
+    return ThermalModel(uniform_stack(get_chip("low-power-cmp"), 4),
+                        get_cooling("water_pipe"), fast_params)
+
+
+@pytest.fixture(scope="module")
+def pipe_trace(pipe_model):
+    controller = DtmController(pipe_model,
+                               DtmPolicy(trip_c=80.0, hysteresis_c=2.0))
+    return controller.run(30.0)
+
+
+class TestDtmPolicy:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DtmPolicy(hysteresis_c=-1.0)
+        with pytest.raises(ConfigurationError):
+            DtmPolicy(control_period_s=0.0)
+
+    def test_period_must_divide_dt(self, pipe_model):
+        with pytest.raises(ConfigurationError, match="multiple"):
+            DtmController(pipe_model,
+                          DtmPolicy(control_period_s=0.05), dt_s=0.03)
+
+
+class TestDtmController:
+    def test_frequencies_on_ladder(self, pipe_model, pipe_trace):
+        ladder = pipe_model.stack.chip.ladder
+        for f in np.unique(pipe_trace.f_hz):
+            assert ladder.contains(float(f))
+
+    def test_throttles_when_hot(self, pipe_trace):
+        # Starts at the top step; a 4-chip pipe stack cannot hold it.
+        assert pipe_trace.f_hz.min() < pipe_trace.f_hz.max()
+
+    def test_temperature_bounded_near_trip(self, pipe_trace):
+        # Reactive control overshoots by at most ~one control period of
+        # heating; far less than the uncontrolled steady state.
+        assert pipe_trace.peak_c < 88.0
+
+    def test_violation_time_small(self, pipe_trace):
+        assert pipe_trace.violation_time_s() < 0.5 * pipe_trace.times_s[-1]
+
+    def test_mean_frequency_at_least_static(self, pipe_model, pipe_trace):
+        """DTM exploits thermal inertia: its delivered average clock is
+        never below the static worst-case pick."""
+        from repro.core.freqopt import max_frequency
+        static = max_frequency(pipe_model)
+        assert pipe_trace.mean_frequency_hz >= static.f_hz - 1e3
+
+    def test_cool_configuration_stays_at_max(self, fast_params):
+        model = ThermalModel(uniform_stack(get_chip("low-power-cmp"), 1),
+                             get_cooling("water"), fast_params)
+        trace = DtmController(model, DtmPolicy(trip_c=80.0)).run(10.0)
+        assert trace.duty_at_max(model.stack.chip.ladder.f_max_hz) == 1.0
+
+    def test_reproducible(self, pipe_model):
+        pol = DtmPolicy(trip_c=80.0)
+        a = DtmController(pipe_model, pol).run(5.0)
+        b = DtmController(pipe_model, pol).run(5.0)
+        np.testing.assert_array_equal(a.f_hz, b.f_hz)
+
+    def test_start_index_respected(self, pipe_model):
+        trace = DtmController(pipe_model, DtmPolicy()).run(
+            2.0, start_index=0)
+        floor = pipe_model.stack.chip.ladder.f_min_hz
+        assert trace.f_hz[0] == pytest.approx(floor)
+
+    def test_bad_start_index(self, pipe_model):
+        with pytest.raises(ConfigurationError):
+            DtmController(pipe_model, DtmPolicy()).run(2.0,
+                                                       start_index=99)
+
+    def test_short_duration_rejected(self, pipe_model):
+        with pytest.raises(ConfigurationError):
+            DtmController(pipe_model, DtmPolicy()).run(0.001)
+
+
+class TestDtmVsStatic:
+    def test_summary_fields(self, pipe_model):
+        res = dtm_vs_static(pipe_model, duration_s=10.0)
+        assert set(res) == {"dtm_mean_ghz", "static_ghz",
+                            "dtm_over_static", "dtm_peak_c"}
+        assert res["dtm_over_static"] >= 1.0 - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the energy/EDP analysis and the McPAT-style report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cosim import run_npb_comparison
+from repro.core.energy import energy_outcomes, relative_energy_table
+from repro.errors import InfeasibleError
+from repro.power import get_chip
+from repro.power.report import component_breakdown, ladder_report, render_report
+from repro.units import ghz
+
+
+@pytest.fixture(scope="module")
+def lp6(fast_params):
+    return run_npb_comparison("low-power-cmp", 6, reference="water_pipe",
+                              params=fast_params)
+
+
+class TestEnergy:
+    def test_outcomes_only_feasible(self):
+        # Full-resolution package: the water pipe cannot hold the
+        # 8-chip low-power stack (the Fig. 11 premise), so its energy
+        # outcome must be absent.
+        cmp8 = run_npb_comparison("low-power-cmp", 8,
+                                  reference="mineral_oil")
+        names = {o.cooling for o in energy_outcomes(cmp8)}
+        assert "water_pipe" not in names
+        assert "water" in names
+
+    def test_energy_is_power_times_time(self, lp6):
+        for o in energy_outcomes(lp6):
+            assert o.chip_energy_j == pytest.approx(
+                o.mean_time_s * lp6.outcome(o.cooling).point.total_power_w)
+
+    def test_edp_definition(self, lp6):
+        for o in energy_outcomes(lp6):
+            assert o.edp == pytest.approx(o.chip_energy_j * o.mean_time_s)
+
+    def test_wall_energy_at_least_chip(self, lp6):
+        for o in energy_outcomes(lp6):
+            assert o.wall_energy_j >= o.chip_energy_j
+
+    def test_relative_table_reference_is_one(self, lp6):
+        table = relative_energy_table(lp6, "water_pipe")
+        for v in table["water_pipe"].values():
+            assert v == pytest.approx(1.0)
+
+    def test_water_trades_energy_for_time(self, lp6):
+        """The extension's finding: water is faster but spends more
+        chip energy (higher V and f) — a performance play."""
+        table = relative_energy_table(lp6, "water_pipe")
+        assert table["water"]["time"] < 1.0
+        assert table["water"]["chip_energy"] > 1.0
+
+    def test_pue_softens_wall_energy(self, lp6):
+        """At the wall, water's near-1 PUE claws back part of the chip
+        energy premium relative to oil's facility."""
+        table = relative_energy_table(lp6, "water_pipe")
+        assert (table["water"]["wall_energy"]
+                < table["mineral_oil"]["wall_energy"])
+
+    def test_missing_reference_rejected(self, lp6):
+        with pytest.raises(InfeasibleError):
+            relative_energy_table(lp6, "air")
+
+
+class TestPowerReport:
+    def test_breakdown_shares_sum_to_one(self):
+        b = component_breakdown(get_chip("low-power-cmp"), ghz(2.0))
+        assert sum(e["share"] for e in b.values()) == pytest.approx(1.0)
+
+    def test_breakdown_power_sums_to_chip(self):
+        chip = get_chip("high-frequency-cmp")
+        b = component_breakdown(chip, ghz(3.6))
+        assert sum(e["power_w"] for e in b.values()) == pytest.approx(
+            chip.total_power_w(ghz(3.6)))
+
+    def test_core_density_highest_among_major_kinds(self):
+        b = component_breakdown(get_chip("high-frequency-cmp"), ghz(3.6))
+        assert b["core"]["density_w_cm2"] > b["l2"]["density_w_cm2"]
+
+    def test_render_contains_anchors(self):
+        text = render_report(get_chip("high-frequency-cmp"), ghz(3.6))
+        assert "3.60 GHz" in text
+        assert "56.80 W" in text
+        assert "core" in text
+
+    def test_ladder_report_rows(self):
+        chip = get_chip("low-power-cmp")
+        text = ladder_report(chip)
+        assert len(text.splitlines()) == 2 + chip.ladder.num_steps
+        assert "47.20" in text

@@ -1,0 +1,84 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perfsim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fifo(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule(1.0, lambda i=i: fired.append(i))
+        q.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [1.5]
+
+    def test_schedule_from_callback(self):
+        q = EventQueue()
+        fired = []
+        def first():
+            fired.append(q.now)
+            q.schedule(1.0, lambda: fired.append(q.now))
+        q.schedule(1.0, first)
+        q.run()
+        assert fired == [1.0, 2.0]
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(4.0, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_until_horizon(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(5.0, lambda: fired.append(5))
+        t = q.run(until_s=2.0)
+        assert fired == [1]
+        assert t == 2.0
+        assert q.pending == 1
+
+    def test_event_budget_guard(self):
+        q = EventQueue()
+        def loop():
+            q.schedule(0.0, loop)
+        q.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="budget"):
+            q.run(max_events=100)
+
+    def test_step_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        for _ in range(3):
+            q.schedule(1.0, lambda: None)
+        q.run()
+        assert q.processed == 3

@@ -1,0 +1,193 @@
+"""Tests for the NoC load sweep, IRDS roadmap, and microchannel baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.perfsim.noc import (
+    MeshTopology,
+    load_latency_curve,
+    measure_load_point,
+    saturation_load,
+)
+from repro.power import get_chip
+from repro.power.roadmap import (
+    BASE_CMP_POWER_W,
+    ROADMAP_CMP_POWER_W,
+    feasibility_horizon,
+    last_feasible_year,
+    power_scale,
+    projected_chip,
+    projected_power_w,
+    sanity_growth,
+)
+from repro.stack import uniform_stack
+from repro.thermal.microchannel import (
+    MicrochannelParams,
+    build_microchannel_network,
+    microchannel_max_temperature_c,
+)
+from repro.units import ghz
+
+
+class TestNocLoadSweep:
+    TOPO = MeshTopology(4, 4, 1)
+
+    def test_latency_increases_with_load(self):
+        curve = load_latency_curve(self.TOPO, loads=(0.02, 0.1, 0.3),
+                                   window_cycles=800)
+        lats = [p.mean_latency_cycles for p in curve]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_low_load_near_zero_load_latency(self):
+        p = measure_load_point(self.TOPO, 0.01, window_cycles=800)
+        # Mean zero-load latency for mixed traffic ~ 10 cycles on this
+        # mesh; queueing at 1 % load is marginal.
+        assert p.mean_queue_cycles < 2.0
+
+    def test_queue_dominates_at_saturation(self):
+        p = measure_load_point(self.TOPO, 0.5, window_cycles=800)
+        assert p.mean_queue_cycles > 0.5 * p.mean_latency_cycles
+
+    def test_reproducible(self):
+        a = measure_load_point(self.TOPO, 0.1, seed=4, window_cycles=500)
+        b = measure_load_point(self.TOPO, 0.1, seed=4, window_cycles=500)
+        assert a.mean_latency_cycles == b.mean_latency_cycles
+
+    def test_saturation_in_physical_range(self):
+        sat = saturation_load(self.TOPO, window_cycles=600)
+        # A 4x4 mesh with 5-flit data packets saturates well below
+        # 1 packet/node/cycle and above a few percent.
+        assert 0.05 < sat < 0.6
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(SimulationError):
+            measure_load_point(self.TOPO, 0.0)
+        with pytest.raises(SimulationError):
+            measure_load_point(self.TOPO, 1.5)
+
+    def test_delivered_counts_scale_with_load(self):
+        lo = measure_load_point(self.TOPO, 0.02, window_cycles=800)
+        hi = measure_load_point(self.TOPO, 0.2, window_cycles=800)
+        assert hi.delivered > 5 * lo.delivered
+
+    def test_adversarial_patterns_congest_xy(self):
+        """Transpose/tornado are the classic adversaries of XY routing;
+        nearest-neighbor is nearly free."""
+        lat = {}
+        for pat in ("uniform", "transpose", "tornado", "neighbor"):
+            lat[pat] = measure_load_point(
+                self.TOPO, 0.2, pattern=pat,
+                window_cycles=600).mean_latency_cycles
+        assert lat["neighbor"] < lat["uniform"]
+        assert lat["tornado"] > lat["uniform"]
+        assert lat["transpose"] > lat["uniform"]
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(SimulationError):
+            measure_load_point(self.TOPO, 0.1, pattern="gather")
+
+    def test_neighbor_latency_is_single_hop(self):
+        p = measure_load_point(self.TOPO, 0.01, pattern="neighbor",
+                               window_cycles=400)
+        # One hop, mixed 1/5-flit packets: ~3-8 cycles.
+        assert p.mean_latency_cycles < 10.0
+
+
+class TestRoadmap:
+    def test_endpoints_pinned(self):
+        assert projected_power_w(2019) == pytest.approx(BASE_CMP_POWER_W)
+        assert projected_power_w(2033) == pytest.approx(
+            ROADMAP_CMP_POWER_W)
+
+    def test_growth_monotone(self):
+        powers = [projected_power_w(y) for y in range(2019, 2034)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_growth_rate_sane(self):
+        assert 1.10 < sanity_growth() < 1.25
+
+    def test_pre_roadmap_year_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power_scale(2018)
+
+    def test_projected_chip_scales_anchor(self):
+        chip = get_chip("high-frequency-cmp")
+        future = projected_chip(chip, 2027)
+        assert future.max_power_w == pytest.approx(
+            chip.max_power_w * power_scale(2027))
+        assert future.ladder == chip.ladder
+
+    def test_horizon_frequencies_nonincreasing(self, fast_params):
+        chip = get_chip("high-frequency-cmp")
+        horizon = feasibility_horizon(chip, 4, "water",
+                                      years=(2019, 2025, 2031),
+                                      params=fast_params)
+        vals = list(horizon.values())
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_water_outlives_air(self, fast_params):
+        chip = get_chip("high-frequency-cmp")
+        years = tuple(range(2019, 2034, 2))
+        air = last_feasible_year(chip, 4, "air", years=years,
+                                 params=fast_params)
+        water = last_feasible_year(chip, 4, "water", years=years,
+                                   params=fast_params)
+        assert water is not None
+        assert air is None or water >= air
+
+
+class TestMicrochannel:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrochannelParams(h_w_m2k=0.0)
+
+    def test_network_structure(self, fast_params):
+        chip = get_chip("high-frequency-cmp")
+        net = build_microchannel_network(uniform_stack(chip, 3),
+                                         params=fast_params)
+        names = [la.name for la in net.layers]
+        assert names == ["die0", "chan1", "die1", "chan2", "die2"]
+        # 2 faces per channel x 2 channels + 2 caps = 6 boundaries.
+        assert len(net.boundaries) == 6
+
+    def test_deep_stack_stays_cool(self, fast_params):
+        """The related-work claim: per-tier channels remove the stack-
+        depth penalty that limits immersion."""
+        chip = get_chip("high-frequency-cmp")
+        t4 = microchannel_max_temperature_c(uniform_stack(chip, 4),
+                                            ghz(3.6), params=fast_params)
+        t8 = microchannel_max_temperature_c(uniform_stack(chip, 8),
+                                            ghz(3.6), params=fast_params)
+        assert t4 < 80.0 and t8 < 80.0
+        assert t8 - t4 < 10.0   # nearly depth-independent
+
+    def test_beats_immersion_at_depth(self, fast_params):
+        from repro.cooling import get_cooling
+        from repro.thermal import ThermalModel
+        chip = get_chip("high-frequency-cmp")
+        stack = uniform_stack(chip, 8)
+        immersion = ThermalModel(stack, get_cooling("water"),
+                                 fast_params).max_temperature_c(ghz(3.6))
+        channels = microchannel_max_temperature_c(stack, ghz(3.6),
+                                                  params=fast_params)
+        assert channels < immersion
+
+    def test_weaker_channels_hotter(self, fast_params):
+        chip = get_chip("high-frequency-cmp")
+        stack = uniform_stack(chip, 4)
+        strong = microchannel_max_temperature_c(
+            stack, ghz(3.6), MicrochannelParams(h_w_m2k=50_000.0),
+            params=fast_params)
+        weak = microchannel_max_temperature_c(
+            stack, ghz(3.6), MicrochannelParams(h_w_m2k=5_000.0),
+            params=fast_params)
+        assert weak > strong
+
+    def test_rotation_compatible(self, fast_params):
+        from repro.stack import flip_even_layers
+        chip = get_chip("high-frequency-cmp")
+        t = microchannel_max_temperature_c(flip_even_layers(chip, 4),
+                                           ghz(3.6), params=fast_params)
+        assert t < 80.0

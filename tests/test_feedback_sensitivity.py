@@ -1,0 +1,127 @@
+"""Tests for the leakage-feedback loop and the sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooling import get_cooling
+from repro.core.feedback import (
+    FeedbackResult,
+    max_frequency_with_feedback,
+    solve_with_leakage_feedback,
+)
+from repro.core.freqopt import max_frequency
+from repro.errors import SimulationError, ThermalModelError
+from repro.perfsim.sensitivity import (
+    controller_count_sweep,
+    dram_latency_sweep,
+    headline_robustness,
+    router_pipeline_sweep,
+)
+from repro.power import get_chip
+from repro.stack import uniform_stack
+from repro.thermal import ThermalModel
+from repro.units import ghz
+
+
+@pytest.fixture(scope="module")
+def water4(fast_params):
+    return ThermalModel(uniform_stack(get_chip("high-frequency-cmp"), 4),
+                        get_cooling("water"), fast_params)
+
+
+class TestLeakageFeedback:
+    def test_converges(self, water4):
+        res = solve_with_leakage_feedback(water4, ghz(3.2))
+        assert isinstance(res, FeedbackResult)
+        assert not res.runaway
+        assert res.iterations >= 1
+
+    def test_zero_coefficient_matches_one_shot(self, water4):
+        res = solve_with_leakage_feedback(water4, ghz(3.2),
+                                          coeff_per_k=0.0)
+        assert res.max_temp_c == pytest.approx(res.one_shot_temp_c,
+                                               abs=0.02)
+
+    def test_cool_point_reduces_leakage(self, water4):
+        """Below the 80 C anchor the fixed point is cooler than the
+        paper's one-shot worst case."""
+        res = solve_with_leakage_feedback(water4, ghz(2.4))
+        assert res.max_temp_c < res.one_shot_temp_c
+
+    def test_hot_point_raises_leakage(self, water4):
+        """Above the anchor the fixed point is hotter."""
+        res = solve_with_leakage_feedback(water4, ghz(3.6))
+        if res.one_shot_temp_c > 85.0:
+            assert res.max_temp_c > res.one_shot_temp_c
+
+    def test_stronger_coefficient_bigger_effect(self, water4):
+        weak = solve_with_leakage_feedback(water4, ghz(2.4),
+                                           coeff_per_k=0.005)
+        strong = solve_with_leakage_feedback(water4, ghz(2.4),
+                                             coeff_per_k=0.03)
+        assert (abs(strong.feedback_penalty_c)
+                > abs(weak.feedback_penalty_c))
+
+    def test_negative_coefficient_rejected(self, water4):
+        with pytest.raises(ThermalModelError):
+            solve_with_leakage_feedback(water4, ghz(2.4),
+                                        coeff_per_k=-0.01)
+
+    def test_search_never_below_paper_minus_margin(self, water4):
+        paper = max_frequency(water4)
+        f, res = max_frequency_with_feedback(water4)
+        assert f >= paper.f_hz - 0.21e9
+        assert res is not None
+        assert res.max_temp_c <= water4.stack.chip.threshold_c + 1e-6
+
+    def test_search_infeasible_configuration(self, fast_params):
+        model = ThermalModel(
+            uniform_stack(get_chip("low-power-cmp"), 12),
+            get_cooling("air"), fast_params)
+        f, res = max_frequency_with_feedback(model)
+        assert f == 0.0 and res is None
+
+    def test_runaway_detection(self, fast_params):
+        """Hot configuration + absurd coefficient must trip the runaway
+        guard, not hang (runaway needs mean T above the reference)."""
+        hot = ThermalModel(
+            uniform_stack(get_chip("high-frequency-cmp"), 4),
+            get_cooling("air"), fast_params)
+        res = solve_with_leakage_feedback(hot, ghz(3.6),
+                                          coeff_per_k=0.5,
+                                          max_iterations=60)
+        assert res.runaway
+        assert res.max_temp_c > 100.0
+
+
+class TestSensitivity:
+    def test_dram_latency_compresses_gain(self):
+        points = dram_latency_sweep((60.0, 133.0, 200.0), n_chips=2)
+        rels = [p.mean_relative_time for p in points]
+        # Longer fixed memory time -> relative time closer to 1.
+        assert rels[0] < rels[1] < rels[2] < 1.0
+
+    def test_router_depth_mild(self):
+        points = router_pipeline_sweep((2, 3, 5), n_chips=2)
+        rels = [p.mean_relative_time for p in points]
+        # Clocked NoC cycles cancel in the ratio to first order.
+        assert max(rels) - min(rels) < 0.02
+
+    def test_controller_count_matters_little_at_this_load(self):
+        points = controller_count_sweep((1, 4), n_chips=2)
+        rels = [p.mean_relative_time for p in points]
+        assert all(0.5 < r < 1.0 for r in rels)
+
+    def test_headline_robustness_table(self):
+        table = headline_robustness((80.0, 133.0))
+        assert set(table) == {80.0, 133.0}
+        assert table[80.0] > table[133.0] > 0.0
+
+    def test_empty_sweeps_rejected(self):
+        with pytest.raises(SimulationError):
+            dram_latency_sweep(())
+        with pytest.raises(SimulationError):
+            router_pipeline_sweep(())
+        with pytest.raises(SimulationError):
+            controller_count_sweep(())

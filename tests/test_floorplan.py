@@ -1,0 +1,202 @@
+"""Tests for repro.floorplan: container, library, transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import (
+    Block,
+    Floorplan,
+    Rect,
+    baseline_16tile,
+    floorplan_names,
+    get_floorplan,
+    mirror_x,
+    mirror_y,
+    rotate_90,
+    rotate_180,
+    xeon_e5_2667v4,
+    xeon_phi_7290,
+)
+from repro.units import mm2
+
+
+class TestFloorplanInvariants:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FloorplanError, match="duplicate"):
+            Floorplan("bad", Rect(0, 0, 1, 1), (
+                Block("a", Rect(0, 0, 0.4, 0.4)),
+                Block("a", Rect(0.5, 0.5, 0.4, 0.4)),
+            ))
+
+    def test_out_of_outline_rejected(self):
+        with pytest.raises(FloorplanError, match="outside"):
+            Floorplan("bad", Rect(0, 0, 1, 1), (
+                Block("a", Rect(0.8, 0.8, 0.5, 0.5)),
+            ))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(FloorplanError, match="overlap"):
+            Floorplan("bad", Rect(0, 0, 1, 1), (
+                Block("a", Rect(0, 0, 0.6, 0.6)),
+                Block("b", Rect(0.5, 0.5, 0.4, 0.4)),
+            ))
+
+    def test_touching_blocks_allowed(self):
+        fp = Floorplan("ok", Rect(0, 0, 1, 1), (
+            Block("a", Rect(0, 0, 0.5, 1.0)),
+            Block("b", Rect(0.5, 0, 0.5, 1.0)),
+        ))
+        assert fp.coverage() == pytest.approx(1.0)
+
+    def test_block_lookup(self):
+        fp = baseline_16tile()
+        assert fp.block("R00").kind == "router"
+        with pytest.raises(FloorplanError, match="no block"):
+            fp.block("XYZ")
+
+    def test_blocks_of_kind(self):
+        fp = baseline_16tile()
+        cores = fp.blocks_of_kind("core")
+        assert len(cores) == 8   # 4 logical cores x 2 rectangles each
+
+
+class TestPowerMap:
+    def test_power_conservation(self):
+        fp = baseline_16tile()
+        power = {name: 1.0 for name in fp.block_names}
+        pm = fp.power_map(power, 16, 16)
+        assert pm.sum() == pytest.approx(len(fp.block_names), rel=1e-12)
+
+    def test_unknown_block_rejected(self):
+        fp = baseline_16tile()
+        with pytest.raises(FloorplanError, match="unknown"):
+            fp.power_map({"nope": 1.0}, 8, 8)
+
+    def test_negative_power_rejected(self):
+        fp = baseline_16tile()
+        with pytest.raises(FloorplanError, match="negative"):
+            fp.power_map({"R00": -1.0}, 8, 8)
+
+    def test_zero_power_blocks_allowed(self):
+        fp = baseline_16tile()
+        pm = fp.power_map({}, 8, 8)
+        assert pm.sum() == 0.0
+
+    def test_density_map_units(self):
+        fp = baseline_16tile()
+        pm = fp.density_map({name: 1.0 for name in fp.block_names}, 8, 8)
+        total = pm.sum() * fp.die_area / 64
+        assert total == pytest.approx(len(fp.block_names), rel=1e-9)
+
+    def test_conservation_across_resolutions(self):
+        fp = xeon_e5_2667v4()
+        power = {b.name: 2.5 for b in fp.blocks}
+        for n in (4, 9, 17):
+            pm = fp.power_map(power, n, n)
+            assert pm.sum() == pytest.approx(2.5 * len(fp.blocks),
+                                             rel=1e-9)
+
+
+class TestLibrary:
+    def test_baseline_die_area_is_169mm2(self):
+        fp = baseline_16tile()
+        assert fp.die_area == pytest.approx(mm2(169.0))
+
+    def test_baseline_has_four_cores_in_bottom_row(self):
+        fp = baseline_16tile()
+        core_blocks = fp.blocks_of_kind("core")
+        # Fig. 5: all cores in the bottom tile row (y < tile height).
+        tile = fp.outline.h / 4
+        assert all(b.rect.y2 <= tile + 1e-12 for b in core_blocks)
+
+    def test_baseline_has_twelve_l2_banks(self):
+        fp = baseline_16tile()
+        names = {b.name[:-1] for b in fp.blocks_of_kind("l2")}
+        assert len(names) == 12
+
+    def test_baseline_has_sixteen_routers(self):
+        fp = baseline_16tile()
+        assert len(fp.blocks_of_kind("router")) == 16
+
+    def test_baseline_full_coverage(self):
+        assert baseline_16tile().coverage() == pytest.approx(1.0)
+
+    def test_e5_has_eight_cores(self):
+        fp = xeon_e5_2667v4()
+        assert len(fp.blocks_of_kind("core")) == 8
+
+    def test_e5_area_about_246mm2(self):
+        assert xeon_e5_2667v4().die_area == pytest.approx(mm2(246.16),
+                                                          rel=0.01)
+
+    def test_phi_has_72_cores(self):
+        fp = xeon_phi_7290()
+        assert len(fp.blocks_of_kind("core")) == 72
+
+    def test_phi_larger_than_e5(self):
+        assert xeon_phi_7290().die_area > xeon_e5_2667v4().die_area
+
+    def test_get_floorplan_roundtrip(self):
+        for name in floorplan_names():
+            assert get_floorplan(name).name == name
+
+    def test_get_floorplan_unknown(self):
+        with pytest.raises(FloorplanError):
+            get_floorplan("itanium")
+
+
+class TestTransforms:
+    def test_rotate_180_preserves_validity_and_area(self):
+        for factory in (baseline_16tile, xeon_e5_2667v4, xeon_phi_7290):
+            fp = factory()
+            rot = rotate_180(fp)
+            assert rot.coverage() == pytest.approx(fp.coverage())
+            assert rot.block_names == fp.block_names
+
+    def test_rotate_180_moves_cores_to_top(self):
+        fp = baseline_16tile()
+        rot = rotate_180(fp)
+        tile = fp.outline.h / 4
+        for b in rot.blocks_of_kind("core"):
+            assert b.rect.y >= 3 * tile - 1e-12
+
+    def test_rotate_180_involution_on_power_map(self):
+        fp = baseline_16tile()
+        power = {b.name: 1.0 for b in fp.blocks if b.kind == "core"}
+        pm = fp.power_map(power, 16, 16)
+        pm_rot = rotate_180(fp).power_map(power, 16, 16)
+        np.testing.assert_allclose(pm_rot, pm[::-1, ::-1], atol=1e-12)
+
+    def test_mirror_x_preserves_y(self):
+        fp = baseline_16tile()
+        mx = mirror_x(fp)
+        for a, b in zip(fp.blocks, mx.blocks):
+            assert a.rect.y == pytest.approx(b.rect.y)
+
+    def test_mirror_y_preserves_x(self):
+        fp = baseline_16tile()
+        my = mirror_y(fp)
+        for a, b in zip(fp.blocks, my.blocks):
+            assert a.rect.x == pytest.approx(b.rect.x)
+
+    def test_rotate_90_square_die(self):
+        fp = baseline_16tile()   # square
+        r90 = rotate_90(fp)
+        assert r90.coverage() == pytest.approx(fp.coverage())
+
+    def test_rotate_90_rejects_rectangular(self):
+        # The paper: rectangular chips cannot be stacked after 90 deg.
+        with pytest.raises(FloorplanError, match="square"):
+            rotate_90(xeon_e5_2667v4())
+
+    def test_four_90_rotations_identity(self):
+        fp = baseline_16tile()
+        r = fp
+        for _ in range(4):
+            r = rotate_90(r)
+        for a, b in zip(fp.blocks, r.blocks):
+            assert a.rect.x == pytest.approx(b.rect.x, abs=1e-12)
+            assert a.rect.y == pytest.approx(b.rect.y, abs=1e-12)

@@ -1,0 +1,131 @@
+"""Tests for the flow-correlation and leakage extensions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cooling.flow import (
+    FlowCorrelation,
+    oil_flow_correlation,
+    water_flow_correlation,
+)
+from repro.errors import ConfigurationError
+from repro.prototype.leakage import (
+    FAILURE_CURRENT_A,
+    FilmDegradation,
+    LeakagePath,
+    component_degradation,
+    sea_vs_tap_acceleration,
+)
+from repro.thermal.coolants import WATER
+
+
+class TestFlowCorrelation:
+    def test_natural_anchor_at_zero_velocity(self):
+        corr = water_flow_correlation()
+        assert corr.h_at(0.0) == pytest.approx(WATER.h_w_m2k)
+
+    def test_h_monotone_in_velocity(self):
+        corr = water_flow_correlation()
+        hs = [corr.h_at(v) for v in (0.0, 0.2, 0.5, 1.0, 2.0)]
+        assert all(a < b for a, b in zip(hs, hs[1:]))
+
+    def test_one_meter_per_second_jacket_range(self):
+        # Liquid jackets at ~1 m/s run ~4-8 kW/m2K.
+        h = water_flow_correlation().h_at(1.0)
+        assert 3000.0 < h < 9000.0
+
+    def test_velocity_roundtrip(self):
+        corr = water_flow_correlation()
+        v = corr.velocity_for(3000.0)
+        assert corr.h_at(v) == pytest.approx(3000.0, rel=1e-9)
+
+    def test_velocity_below_natural_rejected(self):
+        with pytest.raises(ConfigurationError, match="natural"):
+            water_flow_correlation().velocity_for(500.0)
+
+    def test_oil_gains_less_than_water(self):
+        assert (oil_flow_correlation().h_at(1.0)
+                < water_flow_correlation().h_at(1.0))
+
+    def test_pumping_power_cubic(self):
+        corr = water_flow_correlation()
+        p1 = corr.pumping_power_w(1.0, 0.3)
+        p2 = corr.pumping_power_w(2.0, 0.3)
+        assert p2 == pytest.approx(8 * p1)
+
+    def test_pumping_power_positive_area_required(self):
+        with pytest.raises(ConfigurationError):
+            water_flow_correlation().pumping_power_w(1.0, 0.0)
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ConfigurationError):
+            FlowCorrelation(coolant=WATER, c_forced=0.0)
+
+    def test_negative_velocity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            water_flow_correlation().h_at(-1.0)
+
+    def test_fig14_motivation_velocity_is_modest(self):
+        """Section 4.1's 'turbines' remark: doubling water's natural h
+        needs only a gentle flow."""
+        v = water_flow_correlation().velocity_for(1600.0)
+        assert v < 0.5   # m/s
+
+
+class TestLeakage:
+    def test_disk_conductance_formula(self):
+        path = LeakagePath(radius_m=5e-6, water_conductivity_s_m=0.05)
+        assert path.conductance_s() == pytest.approx(4 * 0.05 * 5e-6)
+
+    def test_current_scales_with_voltage(self):
+        path = LeakagePath(radius_m=5e-6)
+        assert path.current_a(12.0) == pytest.approx(
+            12 * path.conductance_s())
+
+    def test_negative_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeakagePath(radius_m=5e-6).current_a(-1.0)
+
+    def test_expected_defects_linear(self):
+        deg = FilmDegradation(defect_rate_per_year=10.0)
+        assert deg.expected_defects(2.0) == pytest.approx(20.0)
+
+    def test_pciex4_fails_within_campaign(self):
+        deg = component_degradation("pciex4")
+        assert deg.expected_failure_years(12.0) < 2.0
+
+    def test_flat_components_outlast_campaign(self):
+        for name in ("pga", "mega_avr", "usb"):
+            deg = component_degradation(name)
+            assert deg.expected_failure_years(12.0) > 2.0
+
+    def test_leakage_ordering_matches_campaign(self):
+        """Leakage horizons reproduce the Weibull ordering."""
+        years = {name: component_degradation(name).expected_failure_years(
+            12.0) for name in ("pciex4", "rj45", "pga")}
+        assert years["pciex4"] < years["rj45"] < years["pga"]
+
+    def test_zero_rate_never_fails(self):
+        deg = FilmDegradation(defect_rate_per_year=0.0)
+        assert deg.expected_failure_years(12.0) == math.inf
+
+    def test_sea_water_acceleration(self):
+        assert sea_vs_tap_acceleration() == pytest.approx(100.0)
+
+    def test_sea_water_shortens_horizon(self):
+        """The Tokyo Bay record (53 days) vs the tap-water years."""
+        tap = component_degradation("rj45")
+        sea = FilmDegradation(defect_rate_per_year=tap.defect_rate_per_year,
+                              water_conductivity_s_m=5.0)
+        assert (sea.expected_failure_years(12.0)
+                < tap.expected_failure_years(12.0) / 50.0)
+
+    def test_unknown_component(self):
+        with pytest.raises(ConfigurationError):
+            component_degradation("hdmi")
+
+    def test_threshold_is_milliamp(self):
+        assert FAILURE_CURRENT_A == pytest.approx(1e-3)

@@ -1,0 +1,163 @@
+"""Tests for repro.floorplan.geometry, including hypothesis properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan.geometry import Rect, grid_edges, rasterize_fraction
+
+
+def rects(max_xy: float = 1.0, min_size: float = 1e-3):
+    """Strategy producing valid rectangles inside [0, 2] x [0, 2]."""
+    coord = st.floats(min_value=0.0, max_value=max_xy, allow_nan=False)
+    size = st.floats(min_value=min_size, max_value=1.0, allow_nan=False)
+    return st.builds(Rect, x=coord, y=coord, w=size, h=size)
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.x2 == 4.0
+        assert r.y2 == 6.0
+        assert r.area == 12.0
+        assert r.center == (2.5, 4.0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(FloorplanError):
+            Rect(0, 0, 0.0, 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(FloorplanError):
+            Rect(0, 0, 1.0, -1.0)
+
+    def test_contains_point(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0.5, 0.5)
+        assert r.contains_point(0.0, 1.0)   # boundary included
+        assert not r.contains_point(1.5, 0.5)
+
+    def test_intersection_disjoint(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(2, 2, 1, 1)
+        assert a.intersection_area(b) == 0.0
+        assert not a.overlaps(b)
+
+    def test_intersection_partial(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 2, 2)
+        assert a.intersection_area(b) == pytest.approx(1.0)
+
+    def test_intersection_touching_edges_is_zero(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 1, 1)
+        assert a.intersection_area(b) == 0.0
+
+    def test_inside(self):
+        outer = Rect(0, 0, 10, 10)
+        assert Rect(1, 1, 2, 2).inside(outer)
+        assert not Rect(9, 9, 2, 2).inside(outer)
+
+    def test_translated(self):
+        r = Rect(0, 0, 1, 2).translated(3, 4)
+        assert (r.x, r.y, r.w, r.h) == (3, 4, 1, 2)
+
+    def test_rotated_180_center_block_fixed(self):
+        outline = Rect(0, 0, 10, 10)
+        centered = Rect(4, 4, 2, 2)
+        assert centered.rotated_180(outline) == centered
+
+    def test_rotated_180_corner(self):
+        outline = Rect(0, 0, 10, 10)
+        r = Rect(0, 0, 2, 1).rotated_180(outline)
+        assert (r.x, r.y) == pytest.approx((8.0, 9.0))
+
+    def test_mirrors(self):
+        outline = Rect(0, 0, 10, 10)
+        r = Rect(0, 0, 2, 2)
+        assert r.mirrored_x(outline).x == pytest.approx(8.0)
+        assert r.mirrored_y(outline).y == pytest.approx(8.0)
+
+    @given(rects())
+    @settings(max_examples=60)
+    def test_rotation_involution(self, r: Rect):
+        outline = Rect(0, 0, 2.5, 2.5)
+        twice = r.rotated_180(outline).rotated_180(outline)
+        assert twice.x == pytest.approx(r.x, abs=1e-12)
+        assert twice.y == pytest.approx(r.y, abs=1e-12)
+
+    @given(rects(), rects())
+    @settings(max_examples=60)
+    def test_intersection_symmetric(self, a: Rect, b: Rect):
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a))
+
+    @given(rects(), rects())
+    @settings(max_examples=60)
+    def test_intersection_bounded(self, a: Rect, b: Rect):
+        area = a.intersection_area(b)
+        assert 0.0 <= area <= min(a.area, b.area) + 1e-15
+
+
+class TestGridEdges:
+    def test_edges_count_and_ends(self):
+        e = grid_edges(1.0, 4.0, 8)
+        assert len(e) == 9
+        assert e[0] == 1.0
+        assert e[-1] == pytest.approx(5.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(FloorplanError):
+            grid_edges(0.0, 1.0, 0)
+
+
+class TestRasterize:
+    def test_full_coverage(self):
+        outline = Rect(0, 0, 1, 1)
+        frac = rasterize_fraction(outline, outline, 4, 4)
+        np.testing.assert_allclose(frac, 1.0)
+
+    def test_half_coverage(self):
+        outline = Rect(0, 0, 1, 1)
+        left = Rect(0, 0, 0.5, 1)
+        frac = rasterize_fraction(left, outline, 4, 4)
+        assert frac[:, :2].min() == pytest.approx(1.0)
+        assert frac[:, 2:].max() == pytest.approx(0.0)
+
+    def test_partial_cell(self):
+        outline = Rect(0, 0, 1, 1)
+        tiny = Rect(0, 0, 0.125, 0.25)   # half a cell wide, full cell tall
+        frac = rasterize_fraction(tiny, outline, 4, 4)
+        assert frac[0, 0] == pytest.approx(0.5)
+        assert frac.sum() == pytest.approx(0.5)
+
+    def test_area_conservation_exact(self):
+        outline = Rect(0, 0, 1, 1)
+        r = Rect(0.123, 0.234, 0.345, 0.456)
+        for n in (3, 7, 16):
+            frac = rasterize_fraction(r, outline, n, n)
+            cell_area = (1.0 / n) ** 2
+            assert frac.sum() * cell_area == pytest.approx(r.area, rel=1e-12)
+
+    @given(rects(max_xy=0.9, min_size=0.01),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12))
+    @settings(max_examples=60)
+    def test_conservation_property(self, r: Rect, nx: int, ny: int):
+        outline = Rect(0, 0, 2.0, 2.0)
+        frac = rasterize_fraction(r, outline, nx, ny)
+        cell_area = (2.0 / nx) * (2.0 / ny)
+        overlap = r.intersection_area(outline)
+        assert frac.sum() * cell_area == pytest.approx(overlap, rel=1e-9)
+        assert frac.min() >= 0.0
+        assert frac.max() <= 1.0 + 1e-12
+
+    def test_row_orientation_bottom_first(self):
+        outline = Rect(0, 0, 1, 1)
+        bottom = Rect(0, 0, 1, 0.25)
+        frac = rasterize_fraction(bottom, outline, 4, 4)
+        assert frac[0].min() == pytest.approx(1.0)   # row 0 = bottom
+        assert frac[1:].max() == pytest.approx(0.0)

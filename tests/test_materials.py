@@ -1,0 +1,100 @@
+"""Tests for repro.thermal.materials and coolants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal import coolants, materials
+
+
+class TestMaterials:
+    def test_table2_copper(self):
+        assert materials.COPPER.conductivity_w_mk == 400.0
+
+    def test_table2_parylene(self):
+        assert materials.PARYLENE.conductivity_w_mk == 0.14
+
+    def test_table2_tim(self):
+        assert materials.TIM.conductivity_w_mk == 0.25
+
+    def test_sheet_resistance_parylene_film(self):
+        # Table 2: 120 um parylene -> 8.57e-4 m^2 K / W
+        r = materials.PARYLENE.sheet_resistance(120e-6)
+        assert r == pytest.approx(120e-6 / 0.14)
+
+    def test_sheet_resistance_scales_with_thickness(self):
+        r1 = materials.SILICON.sheet_resistance(100e-6)
+        r2 = materials.SILICON.sheet_resistance(200e-6)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_sheet_resistance_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            materials.SILICON.sheet_resistance(0.0)
+
+    def test_negative_conductivity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            materials.Material("bad", conductivity_w_mk=-1.0)
+
+    def test_negative_heat_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            materials.Material("bad", conductivity_w_mk=1.0,
+                               volumetric_heat_j_m3k=-1.0)
+
+    def test_lookup_known(self):
+        assert materials.get_material("silicon") is materials.SILICON
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown material"):
+            materials.get_material("unobtainium")
+
+    def test_names_sorted(self):
+        names = materials.material_names()
+        assert list(names) == sorted(names)
+        assert "parylene" in names
+
+
+class TestCoolants:
+    def test_paper_h_values(self):
+        # Section 3.2's exact coefficients.
+        assert coolants.AIR.h_w_m2k == 14.0
+        assert coolants.MINERAL_OIL.h_w_m2k == 160.0
+        assert coolants.FLUORINERT.h_w_m2k == 180.0
+        assert coolants.WATER.h_w_m2k == 800.0
+
+    def test_water_is_conductive(self):
+        assert not coolants.WATER.dielectric
+
+    def test_others_are_dielectric(self):
+        for c in (coolants.AIR, coolants.MINERAL_OIL, coolants.FLUORINERT):
+            assert c.dielectric
+
+    def test_convection_conductance(self):
+        # Table 2 fin area x water h.
+        g = coolants.WATER.convection_conductance(0.3024)
+        assert g == pytest.approx(800.0 * 0.3024)
+
+    def test_convection_conductance_rejects_zero_area(self):
+        with pytest.raises(ConfigurationError):
+            coolants.WATER.convection_conductance(0.0)
+
+    def test_volumetric_heat_water_exceeds_air(self):
+        assert (coolants.WATER.volumetric_heat_j_m3k()
+                > 1000 * coolants.AIR.volumetric_heat_j_m3k())
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown coolant"):
+            coolants.get_coolant("liquid-nitrogen")
+
+    def test_custom_coolant_for_h_sweep(self):
+        c = coolants.custom_coolant("probe", h_w_m2k=1200.0)
+        assert c.h_w_m2k == 1200.0
+        assert c.dielectric
+
+    def test_custom_coolant_rejects_bad_h(self):
+        with pytest.raises(ConfigurationError):
+            coolants.custom_coolant("probe", h_w_m2k=0.0)
+
+    def test_names_cover_paper_set(self):
+        assert set(coolants.coolant_names()) == {
+            "air", "mineral_oil", "fluorinert", "water"}

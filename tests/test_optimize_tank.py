@@ -1,0 +1,141 @@
+"""Tests for the layout optimizer and tank-packing extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooling import TankConfig, board_junction_c, max_boards, packing_study
+from repro.errors import ConfigurationError
+from repro.floorplan import (
+    TRANSFORMS,
+    StackLayoutOptimizer,
+    apply_transform,
+    baseline_16tile,
+    optimize_stack_layout,
+)
+from repro.power import get_chip
+from repro.units import ghz
+
+
+class TestApplyTransform:
+    def test_identity_returns_same(self):
+        fp = baseline_16tile()
+        assert apply_transform(fp, "identity") is fp
+
+    def test_all_transforms_valid(self):
+        fp = baseline_16tile()
+        for t in TRANSFORMS:
+            out = apply_transform(fp, t)
+            assert out.coverage() == pytest.approx(fp.coverage())
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_transform(baseline_16tile(), "rot45")
+
+
+class TestStackLayoutOptimizer:
+    @pytest.fixture(scope="class")
+    def opt(self, fast_params):
+        return StackLayoutOptimizer(get_chip("high-frequency-cmp"), 4,
+                                    "water", ghz(3.6),
+                                    params=fast_params, seed=3)
+
+    def test_peak_for_schedule_length_checked(self, opt):
+        with pytest.raises(ConfigurationError):
+            opt.peak_for(("identity",))
+
+    def test_flip_beats_baseline(self, opt):
+        base = opt.peak_for(("identity",) * 4)
+        flip = opt.peak_for(("identity", "rot180", "identity", "rot180"))
+        assert flip < base
+
+    def test_anneal_never_worse_than_flip_or_baseline(self, fast_params):
+        res = StackLayoutOptimizer(
+            get_chip("high-frequency-cmp"), 4, "water", ghz(3.6),
+            params=fast_params, seed=5).anneal(iterations=120)
+        assert res.peak_c <= res.flip_c + 1e-9
+        assert res.peak_c <= res.baseline_c + 1e-9
+        assert res.gain_vs_baseline_c >= 0
+        assert res.evaluations >= 120
+
+    def test_anneal_reproducible(self, fast_params):
+        def run(seed):
+            return StackLayoutOptimizer(
+                get_chip("high-frequency-cmp"), 3, "water", ghz(3.0),
+                params=fast_params, seed=seed).anneal(iterations=60)
+        a, b = run(7), run(7)
+        assert a.schedule == b.schedule
+        assert a.peak_c == b.peak_c
+
+    def test_wrapper(self):
+        res = optimize_stack_layout("high-frequency-cmp", 2, "water",
+                                    ghz(3.6), iterations=40, seed=1)
+        assert len(res.schedule) == 2
+
+    def test_single_die_rotation_useless(self, fast_params):
+        """With one die there is no stacking interaction; all transforms
+        give (nearly) the same peak because the package is symmetric."""
+        opt = StackLayoutOptimizer(get_chip("high-frequency-cmp"), 1,
+                                   "water", ghz(3.6),
+                                   params=fast_params, seed=0)
+        peaks = [opt.peak_for((t,)) for t in TRANSFORMS]
+        assert max(peaks) - min(peaks) < 0.5
+
+    def test_invalid_inputs(self, fast_params):
+        with pytest.raises(ConfigurationError):
+            StackLayoutOptimizer(get_chip("low-power-cmp"), 0, "water",
+                                 ghz(2.0), params=fast_params)
+        opt = StackLayoutOptimizer(get_chip("low-power-cmp"), 2, "water",
+                                   ghz(2.0), params=fast_params)
+        with pytest.raises(ConfigurationError):
+            opt.anneal(iterations=0)
+
+
+class TestTankPacking:
+    def test_bulk_temperature_rises_with_boards(self):
+        tank = TankConfig()
+        assert tank.bulk_water_temp_c(0) == pytest.approx(25.0)
+        assert (tank.bulk_water_temp_c(10)
+                < tank.bulk_water_temp_c(100))
+
+    def test_energy_balance_value(self):
+        tank = TankConfig(exchange_flow_m3_s=1e-3, board_power_w=250.0)
+        # 100 boards x 250 W = 25 kW into ~4.18 MW/K per m3/s * 1e-3.
+        expected = 25.0 + 25_000.0 / (998.0 * 4184.0 * 1e-3)
+        assert tank.bulk_water_temp_c(100) == pytest.approx(expected)
+
+    def test_crowding_below_min_pitch(self):
+        wide = TankConfig(board_pitch_m=0.05)
+        tight = TankConfig(board_pitch_m=0.015)
+        assert wide.crowding_factor() == 1.0
+        assert tight.crowding_factor() == pytest.approx(0.5)
+        assert tight.effective_h_w_m2k() < wide.effective_h_w_m2k()
+
+    def test_junction_monotone_in_boards(self):
+        tank = TankConfig()
+        temps = [board_junction_c(tank, n) for n in (1, 50, 500)]
+        assert temps[0] < temps[1] < temps[2]
+
+    def test_max_boards_consistency(self):
+        tank = TankConfig()
+        n = max_boards(tank, threshold_c=80.0)
+        assert n >= 1
+        assert board_junction_c(tank, n) <= 80.0
+        assert board_junction_c(tank, n + 1) > 80.0
+
+    def test_more_flow_packs_more(self):
+        study = packing_study((1e-4, 1e-3, 1e-2))
+        counts = list(study.values())
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_zero_when_single_board_too_hot(self):
+        tank = TankConfig(board_power_w=5000.0)
+        assert max_boards(tank, threshold_c=80.0) == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TankConfig(exchange_flow_m3_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TankConfig(board_power_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            TankConfig().bulk_water_temp_c(-1)

@@ -1,0 +1,192 @@
+"""Tests for chip specs, McPAT-like power split, and RAPL emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PowerModelError
+from repro.power import (
+    CMP_SPLIT,
+    HIGH_FREQUENCY_CMP,
+    LOW_POWER_CMP,
+    XEON_E5_2667V4,
+    XEON_PHI_7290,
+    ComponentSplit,
+    RaplEmulator,
+    block_power,
+    chip_names,
+    get_chip,
+    model_profile,
+    peak_power_density_w_m2,
+    power_summary,
+)
+from repro.units import ghz
+
+
+class TestChipSpecs:
+    def test_low_power_anchor(self):
+        # Table 1: 47.2 W at 2.0 GHz.
+        assert LOW_POWER_CMP.total_power_w(ghz(2.0)) == pytest.approx(47.2)
+
+    def test_high_frequency_anchor(self):
+        # Table 1: 56.8 W at 3.6 GHz.
+        assert HIGH_FREQUENCY_CMP.total_power_w(ghz(3.6)) == pytest.approx(
+            56.8)
+
+    def test_power_monotone_in_frequency(self):
+        freqs = LOW_POWER_CMP.ladder.frequencies()
+        powers = [LOW_POWER_CMP.total_power_w(float(f)) for f in freqs]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_hf_floor_draws_less_than_lp_floor(self):
+        # The paper's Section 3.2 observation: the high-frequency chip's
+        # broader VFS range gives it a lower minimum power mode, which
+        # is why it supports taller stacks at low clocks.
+        hf_floor = HIGH_FREQUENCY_CMP.total_power_w(ghz(1.2))
+        lp_floor = LOW_POWER_CMP.total_power_w(ghz(1.0))
+        assert hf_floor < lp_floor
+
+    def test_dynamic_static_sum(self):
+        for f in (ghz(1.4), ghz(2.0)):
+            d, s = LOW_POWER_CMP.dynamic_static_w(f)
+            assert d + s == pytest.approx(LOW_POWER_CMP.total_power_w(f))
+
+    def test_static_fraction_at_max(self):
+        d, s = LOW_POWER_CMP.dynamic_static_w(ghz(2.0))
+        assert s / (d + s) == pytest.approx(0.30)
+
+    def test_e5_threshold_is_78(self):
+        assert XEON_E5_2667V4.threshold_c == 78.0
+
+    def test_phi_has_72_cores(self):
+        assert XEON_PHI_7290.num_cores == 72
+
+    def test_get_chip_roundtrip(self):
+        for name in chip_names():
+            assert get_chip(name).name == name
+
+    def test_get_chip_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_chip("pentium4")
+
+
+class TestComponentSplit:
+    def test_fractions_sum_validated(self):
+        with pytest.raises(PowerModelError, match="sum to 1"):
+            ComponentSplit(dynamic_fraction={"core": 0.5},
+                           static_fraction={"core": 1.0})
+
+    def test_mismatched_kinds_rejected(self):
+        with pytest.raises(PowerModelError, match="same kinds"):
+            ComponentSplit(dynamic_fraction={"core": 1.0},
+                           static_fraction={"l2": 1.0})
+
+    def test_block_power_share(self):
+        p = CMP_SPLIT.block_power("core", dynamic_w=100.0, static_w=0.0,
+                                  share_of_kind=0.25)
+        assert p == pytest.approx(0.25 * CMP_SPLIT.dynamic_fraction["core"]
+                                  * 100.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PowerModelError, match="not covered"):
+            CMP_SPLIT.block_power("gpu", 1.0, 1.0, 1.0)
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(PowerModelError):
+            CMP_SPLIT.block_power("core", 1.0, 1.0, 1.5)
+
+
+class TestBlockPower:
+    def test_total_conserved(self):
+        for chip in (LOW_POWER_CMP, HIGH_FREQUENCY_CMP, XEON_E5_2667V4,
+                     XEON_PHI_7290):
+            f = chip.ladder.f_max_hz
+            per_block = block_power(chip, f)
+            assert sum(per_block.values()) == pytest.approx(
+                chip.total_power_w(f), rel=1e-9)
+
+    def test_total_conserved_at_floor(self):
+        chip = LOW_POWER_CMP
+        per_block = block_power(chip, chip.ladder.f_min_hz)
+        assert sum(per_block.values()) == pytest.approx(
+            chip.total_power_w(chip.ladder.f_min_hz), rel=1e-9)
+
+    def test_off_ladder_frequency_rejected(self):
+        with pytest.raises(PowerModelError, match="ladder"):
+            block_power(LOW_POWER_CMP, ghz(1.55))
+
+    def test_core_density_exceeds_l2(self):
+        chip = HIGH_FREQUENCY_CMP
+        fp = chip.floorplan()
+        per_block = block_power(chip, ghz(3.6), fp)
+        def density(kind):
+            blocks = fp.blocks_of_kind(kind)
+            return (sum(per_block[b.name] for b in blocks)
+                    / sum(b.rect.area for b in blocks))
+        # The Fig. 9 hotspot structure: cores are the dense blocks.
+        assert density("core") > 1.5 * density("l2")
+
+    def test_rotated_floorplan_same_total(self):
+        from repro.floorplan import rotate_180
+        chip = LOW_POWER_CMP
+        fp = rotate_180(chip.floorplan())
+        per_block = block_power(chip, ghz(2.0), fp)
+        assert sum(per_block.values()) == pytest.approx(47.2, rel=1e-9)
+
+    def test_power_summary_covers_kinds(self):
+        s = power_summary(LOW_POWER_CMP, ghz(2.0))
+        assert set(s) == {"core", "l2", "router"}
+        assert sum(s.values()) == pytest.approx(47.2, rel=1e-9)
+
+    def test_peak_density_positive_and_scales(self):
+        lo = peak_power_density_w_m2(HIGH_FREQUENCY_CMP, ghz(1.2))
+        hi = peak_power_density_w_m2(HIGH_FREQUENCY_CMP, ghz(3.6))
+        assert 0 < lo < hi
+
+
+class TestRapl:
+    def test_profile_matches_model_with_zero_noise(self):
+        emu = RaplEmulator(LOW_POWER_CMP, noise_sigma=0.0, seed=1)
+        prof = emu.measure_profile()
+        model = model_profile(LOW_POWER_CMP)
+        np.testing.assert_allclose(prof.powers(), model.powers(), rtol=1e-12)
+
+    def test_reproducible_given_seed(self):
+        a = RaplEmulator(LOW_POWER_CMP, seed=42).measure_profile()
+        b = RaplEmulator(LOW_POWER_CMP, seed=42).measure_profile()
+        np.testing.assert_allclose(a.powers(), b.powers())
+
+    def test_different_seeds_differ(self):
+        a = RaplEmulator(LOW_POWER_CMP, seed=1).measure_profile()
+        b = RaplEmulator(LOW_POWER_CMP, seed=2).measure_profile()
+        assert not np.allclose(a.powers(), b.powers())
+
+    def test_noise_magnitude(self):
+        emu = RaplEmulator(LOW_POWER_CMP, noise_sigma=0.02, seed=3)
+        prof = emu.measure_profile()
+        model = model_profile(LOW_POWER_CMP)
+        rel = np.abs(prof.powers() / model.powers() - 1.0)
+        assert rel.max() < 0.10
+
+    def test_relative_curve_normalized(self):
+        f_rel, p_rel = model_profile(HIGH_FREQUENCY_CMP).relative()
+        assert f_rel[-1] == pytest.approx(1.0)
+        assert p_rel[-1] == pytest.approx(1.0)
+        assert f_rel[0] == pytest.approx(1.2 / 3.6)
+
+    def test_fig6_shape_low_frequency_power_small(self):
+        # Fig. 6: at the ladder floor, relative power is well below the
+        # relative frequency (V^2 f scaling).
+        f_rel, p_rel = model_profile(HIGH_FREQUENCY_CMP).relative()
+        assert p_rel[0] < f_rel[0]
+
+    def test_power_at_missing_frequency(self):
+        prof = model_profile(LOW_POWER_CMP)
+        with pytest.raises(PowerModelError, match="not sampled"):
+            prof.power_at(ghz(1.55))
+
+    def test_energy_accumulation(self):
+        emu = RaplEmulator(LOW_POWER_CMP, noise_sigma=0.0)
+        s = emu.measure_step(ghz(2.0), duration_s=10.0)
+        assert s.energy_j == pytest.approx(472.0)

@@ -1,0 +1,105 @@
+"""Tests for the MPKI-validation mode and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.perfsim import get_profile, measure_mpki, stream_for_profile
+
+
+class TestProfiling:
+    @pytest.mark.parametrize("name", ["ep", "bt", "cg", "mg", "is"])
+    def test_measured_mpki_matches_nominal(self, name):
+        p = get_profile(name)
+        m = measure_mpki(p, n_instructions=120_000, seed=3)
+        assert m.l1_mpki == pytest.approx(p.l1_mpki, rel=0.12, abs=0.6)
+        assert m.l2_mpki == pytest.approx(p.l2_mpki, rel=0.12, abs=0.6)
+
+    def test_relative_error_helper(self):
+        p = get_profile("cg")
+        m = measure_mpki(p, n_instructions=60_000)
+        e1, e2 = m.relative_error(p.l1_mpki, p.l2_mpki)
+        assert e1 < 0.2 and e2 < 0.2
+
+    def test_stream_probabilities_from_profile(self):
+        p = get_profile("cg")
+        s = stream_for_profile(p)
+        mf = p.mix.memory_fraction
+        assert s.p_warm == pytest.approx(
+            (p.l1_mpki - p.l2_mpki) / 1000.0 / mf)
+
+    def test_deterministic(self):
+        p = get_profile("mg")
+        a = measure_mpki(p, n_instructions=30_000, seed=9)
+        b = measure_mpki(p, n_instructions=30_000, seed=9)
+        assert (a.l1_mpki, a.l2_mpki) == (b.l1_mpki, b.l2_mpki)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(SimulationError):
+            measure_mpki(get_profile("cg"), n_instructions=0)
+
+
+class TestCli:
+    def test_freq_command(self, capsys):
+        rc = main(["freq", "--chip", "low-power-cmp", "--chips", "1",
+                   "--cooling", "water"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2.0 GHz" in out
+
+    def test_freq_flip(self, capsys):
+        rc = main(["freq", "--chips", "4", "--cooling", "water",
+                   "--flip"])
+        assert rc == 0
+        assert "3.6 GHz" in capsys.readouterr().out
+
+    def test_freq_infeasible_exit_code(self, capsys):
+        rc = main(["freq", "--chip", "low-power-cmp", "--chips", "15",
+                   "--cooling", "air"])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        rc = main(["sweep", "--chip", "xeon-phi-7290", "--max-chips",
+                   "2", "--cooling", "water"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "water" in out and "1.6" in out
+
+    def test_pue_command(self, capsys):
+        rc = main(["pue"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "natural water" in out
+
+    def test_maps_command(self, capsys):
+        rc = main(["maps", "--chips", "2", "--ghz", "2.0",
+                   "--cooling", "water"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "die0" in out and "die1" in out
+
+    def test_npb_command(self, capsys):
+        rc = main(["npb", "--chip", "low-power-cmp", "--chips", "6",
+                   "--reference", "water_pipe"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "average" in out and "EP" in out
+
+    def test_pareto_command(self, capsys):
+        rc = main(["pareto", "--max-chips", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "throughput" in out and "water" in out
+
+    def test_robustness_command(self, capsys):
+        rc = main(["robustness", "--draws", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "coolant ordering" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["defrost"])

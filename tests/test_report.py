@@ -1,0 +1,37 @@
+"""Tests for the programmatic validation report (fast sections only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    _facility_report,
+    _fig4_report,
+    _reliability_report,
+    _rotation_report,
+)
+
+
+class TestReportSections:
+    def test_fig4_section_all_pass(self):
+        rep = _fig4_report()
+        assert rep.passed == rep.total == 4
+
+    def test_facility_section_all_pass(self):
+        rep = _facility_report()
+        assert rep.passed == rep.total == 2
+
+    def test_reliability_section_all_pass(self):
+        rep = _reliability_report()
+        assert rep.passed == rep.total
+
+    def test_rotation_section_all_pass(self):
+        rep = _rotation_report()
+        assert rep.passed == rep.total == 2
+
+    def test_render_contains_verdicts(self):
+        rep = _fig4_report()
+        text = rep.render()
+        assert "PASS" in text
+        assert "Fig. 4" in text
+        assert f"{rep.passed}/{rep.total}" in text

@@ -1,0 +1,136 @@
+"""Tests for stack configuration and the max-frequency optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooling.options import get_cooling
+from repro.core.freqopt import max_frequency, max_frequency_for, require_feasible
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.power.processors import get_chip
+from repro.stack.chipstack import StackConfig, flip_even_layers, uniform_stack
+from repro.thermal.hotspot import ThermalModel
+from repro.units import ghz
+
+
+@pytest.fixture(scope="module")
+def lp():
+    return get_chip("low-power-cmp")
+
+
+class TestStackConfig:
+    def test_zero_chips_rejected(self, lp):
+        with pytest.raises(ConfigurationError):
+            StackConfig(chip=lp, n_chips=0)
+
+    def test_rotation_length_mismatch_rejected(self, lp):
+        with pytest.raises(ConfigurationError, match="length"):
+            StackConfig(chip=lp, n_chips=3, rotations=(True,))
+
+    def test_default_rotations_all_false(self, lp):
+        s = StackConfig(chip=lp, n_chips=3)
+        assert s.effective_rotations == (False, False, False)
+
+    def test_flip_even_layers_alternates(self, lp):
+        s = flip_even_layers(lp, 5)
+        assert s.effective_rotations == (False, True, False, True, False)
+
+    def test_adjacent_dies_always_differ_when_flipped(self, lp):
+        s = flip_even_layers(lp, 8)
+        r = s.effective_rotations
+        assert all(a != b for a, b in zip(r, r[1:]))
+
+    def test_die_floorplans_rotated(self, lp):
+        s = flip_even_layers(lp, 2)
+        fps = s.die_floorplans()
+        assert fps[0].name == "baseline-16tile"
+        assert fps[1].name.endswith("@180")
+
+    def test_total_power(self, lp):
+        s = uniform_stack(lp, 6)
+        assert s.total_power_w(ghz(2.0)) == pytest.approx(6 * 47.2)
+
+    def test_describe(self, lp):
+        assert flip_even_layers(lp, 3).describe().endswith("[.F.]")
+
+
+class TestMaxFrequency:
+    def test_single_chip_water_reaches_cap(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 1), get_cooling("water"),
+                             fast_params)
+        p = max_frequency(model)
+        assert p.feasible
+        assert p.f_ghz == pytest.approx(2.0)
+
+    def test_result_on_ladder(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 4), get_cooling("air"),
+                             fast_params)
+        p = max_frequency(model)
+        if p.feasible:
+            assert lp.ladder.contains(p.f_hz)
+
+    def test_result_meets_threshold(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 3),
+                             get_cooling("mineral_oil"), fast_params)
+        p = max_frequency(model)
+        assert p.feasible
+        assert p.max_temp_c <= lp.threshold_c + 1e-6
+
+    def test_next_step_would_violate(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 3),
+                             get_cooling("mineral_oil"), fast_params)
+        p = max_frequency(model)
+        if p.feasible and p.f_hz < lp.ladder.f_max_hz:
+            next_f = p.f_hz + lp.ladder.step_hz
+            assert model.max_temperature_c(next_f) > lp.threshold_c
+
+    def test_infeasible_tall_air_stack(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 10), get_cooling("air"),
+                             fast_params)
+        p = max_frequency(model)
+        assert not p.feasible
+        assert p.f_hz == 0.0
+        assert p.max_temp_c > lp.threshold_c
+
+    def test_tighter_threshold_lower_frequency(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 2), get_cooling("water"),
+                             fast_params)
+        loose = max_frequency(model, threshold_c=80.0)
+        tight = max_frequency(model, threshold_c=60.0)
+        assert tight.f_hz <= loose.f_hz
+
+    def test_powers_reported(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 2), get_cooling("water"),
+                             fast_params)
+        p = max_frequency(model)
+        assert p.chip_power_w == pytest.approx(lp.total_power_w(p.f_hz))
+        assert p.total_power_w == pytest.approx(2 * p.chip_power_w)
+
+    def test_wrapper_builds_model(self, fast_params, lp):
+        p = max_frequency_for(uniform_stack(lp, 1), get_cooling("water"),
+                              params=fast_params)
+        assert p.feasible
+
+    def test_require_feasible_passes_through(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 1), get_cooling("water"),
+                             fast_params)
+        p = max_frequency(model)
+        assert require_feasible(p, "ctx") is p
+
+    def test_require_feasible_raises(self, fast_params, lp):
+        model = ThermalModel(uniform_stack(lp, 12), get_cooling("air"),
+                             fast_params)
+        p = max_frequency(model)
+        with pytest.raises(InfeasibleError, match="ctx"):
+            require_feasible(p, "ctx")
+
+    def test_bisection_matches_linear_scan(self, fast_params, lp):
+        """The bisection must agree with an exhaustive ladder scan."""
+        model = ThermalModel(uniform_stack(lp, 4),
+                             get_cooling("fluorinert"), fast_params)
+        p = max_frequency(model)
+        best = 0.0
+        for f in lp.ladder.frequencies():
+            if model.max_temperature_c(float(f)) <= lp.threshold_c + 1e-9:
+                best = float(f)
+        assert p.f_hz == pytest.approx(best)

@@ -1,0 +1,122 @@
+"""Tests for the execution tracer and the Pareto exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pareto import (
+    DesignPoint,
+    evaluate_designs,
+    frontier_share,
+    pareto_frontier,
+)
+from repro.errors import ConfigurationError
+from repro.perfsim import SystemConfig, traced_run
+from repro.units import ghz
+
+FAST = 12_000
+
+
+@pytest.fixture(scope="module")
+def cg_trace():
+    return traced_run("cg", SystemConfig(n_chips=1), ghz(2.0), seed=2,
+                      instructions_per_thread=FAST)
+
+
+class TestTracing:
+    def test_result_matches_untraced(self, cg_trace):
+        from repro.perfsim import simulate_npb
+        res, _ = cg_trace
+        plain = simulate_npb("cg", SystemConfig(n_chips=1), ghz(2.0),
+                             seed=2, instructions_per_thread=FAST)
+        assert res.exec_time_s == pytest.approx(plain.exec_time_s)
+
+    def test_events_cover_all_threads(self, cg_trace):
+        _, trace = cg_trace
+        for t in range(trace.threads):
+            assert trace.of_thread(t)
+
+    def test_events_time_ordered_per_thread(self, cg_trace):
+        _, trace = cg_trace
+        for t in range(trace.threads):
+            evs = trace.of_thread(t)
+            assert all(a.start_s <= b.start_s
+                       for a, b in zip(evs, evs[1:]))
+
+    def test_kind_totals_match_result(self, cg_trace):
+        res, trace = cg_trace
+        totals = trace.time_by_kind()
+        assert totals["compute"] == pytest.approx(res.compute_s, rel=1e-6)
+        assert totals["stall"] == pytest.approx(res.stall_s, rel=1e-6)
+
+    def test_cg_is_stall_dominated(self, cg_trace):
+        _, trace = cg_trace
+        totals = trace.time_by_kind()
+        assert totals["stall"] > totals["compute"]
+
+    def test_ep_is_compute_dominated(self):
+        _, trace = traced_run("ep", SystemConfig(n_chips=1), ghz(2.0),
+                              seed=2, instructions_per_thread=FAST)
+        totals = trace.time_by_kind()
+        assert totals["compute"] > totals["stall"]
+
+    def test_gantt_shape(self, cg_trace):
+        _, trace = cg_trace
+        art = trace.gantt(width=40, max_threads=2)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "s" in art   # stalls visible for CG
+
+    def test_end_time_positive(self, cg_trace):
+        _, trace = cg_trace
+        assert trace.end_s() > 0
+
+
+class TestPareto:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return evaluate_designs("high-frequency-cmp", (1, 2, 4, 6, 8))
+
+    def test_infeasible_designs_dropped(self, points):
+        # Air cannot hold an 8-chip high-frequency stack.
+        assert not any(p.cooling == "air" and p.n_chips == 8
+                       for p in points)
+
+    def test_frontier_is_nondominated(self, points):
+        frontier = pareto_frontier(points)
+        for p in frontier:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_frontier_sorted_by_throughput(self, points):
+        frontier = pareto_frontier(points)
+        thr = [p.throughput for p in frontier]
+        assert thr == sorted(thr)
+
+    def test_water_owns_the_top(self, points):
+        """The highest-throughput frontier design is water-cooled —
+        the paper's thesis as a Pareto statement."""
+        frontier = pareto_frontier(points)
+        assert frontier[-1].cooling == "water"
+
+    def test_frontier_share_counts(self, points):
+        share = frontier_share(points)
+        assert sum(share.values()) == len(pareto_frontier(points))
+        assert share.get("water", 0) >= 1
+
+    def test_dominates_semantics(self):
+        a = DesignPoint("water", 2, 2.0, 10.0, 100.0)
+        b = DesignPoint("air", 2, 1.0, 5.0, 120.0)
+        c = DesignPoint("oil", 2, 1.5, 10.0, 100.0)
+        assert a.dominates(b)
+        assert not a.dominates(c)   # equal on both axes
+        assert not b.dominates(a)
+
+    def test_empty_heights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_designs("high-frequency-cmp", ())
+
+    def test_unknown_cooling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_designs("high-frequency-cmp", (1,),
+                             coolings=("peltier",))

@@ -1,0 +1,106 @@
+"""Tests for the transient thermal solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal import TransientSolver
+from repro.units import ghz
+
+
+@pytest.fixture(scope="module")
+def solver(lp_water_4):
+    return TransientSolver(lp_water_4.network, dt_s=0.05)
+
+
+@pytest.fixture(scope="module")
+def power(lp_water_4):
+    return lp_water_4.power_maps(ghz(2.0))
+
+
+class TestTransientSolver:
+    def test_invalid_dt_rejected(self, lp_water_4):
+        with pytest.raises(ThermalModelError):
+            TransientSolver(lp_water_4.network, dt_s=0.0)
+
+    def test_initial_state_is_ambient(self, solver):
+        t0 = solver.initial_state()
+        assert t0.shape == (solver.network.num_nodes,)
+        np.testing.assert_allclose(t0, 25.0)
+
+    def test_zero_power_stays_at_ambient(self, solver):
+        trace = solver.integrate({}, 20)
+        np.testing.assert_allclose(trace.max_temp_c, 25.0, atol=1e-9)
+
+    def test_heating_is_monotone_under_constant_power(self, solver, power):
+        trace = solver.integrate(power, 50)
+        assert np.all(np.diff(trace.max_temp_c) > -1e-9)
+
+    def test_converges_to_steady_state(self, lp_water_4, solver, power):
+        settled, steps = solver.settle(power, tol_c=1e-5)
+        steady = lp_water_4.network.solve(power)
+        sv = np.concatenate([steady.layer(la.name).ravel()
+                             for la in lp_water_4.network.layers])
+        assert float(np.abs(settled - sv).max()) < 0.05
+        assert steps > 1
+
+    def test_never_overshoots_steady_state(self, lp_water_4, solver,
+                                           power):
+        steady_max = lp_water_4.max_temperature_c(ghz(2.0))
+        trace = solver.integrate(power, 400)
+        assert trace.peak_c <= steady_max + 0.1
+
+    def test_cooling_after_power_off(self, solver, power):
+        hot, _ = solver.settle(power, tol_c=1e-3)
+        trace_down = solver.integrate({}, 100,
+                                      t0_c=float(hot.max()))
+        assert trace_down.max_temp_c[-1] < trace_down.max_temp_c[0]
+
+    def test_time_varying_schedule(self, solver, power):
+        """A duty-cycled workload stays cooler than continuous power."""
+        def duty(step, _t):
+            return power if step % 2 == 0 else {}
+        continuous = solver.integrate(power, 100)
+        cycled = solver.integrate(duty, 100)
+        assert cycled.peak_c < continuous.peak_c
+
+    def test_step_shape_validated(self, solver):
+        with pytest.raises(ThermalModelError):
+            solver.step(np.zeros(3), {})
+
+    def test_trace_time_above(self):
+        from repro.thermal.transient import TransientTrace
+        trace = TransientTrace(
+            times_s=np.array([0.0, 1.0, 2.0, 3.0]),
+            max_temp_c=np.array([25.0, 85.0, 85.0, 70.0]))
+        assert trace.time_above(80.0) == pytest.approx(2.0)
+        assert trace.peak_c == 85.0
+
+    def test_result_from_state_layers(self, solver, lp_water_4):
+        state = solver.initial_state(42.0)
+        res = solver.result_from_state(state)
+        assert res.max_of("die0") == pytest.approx(42.0)
+        assert set(res.layer_names) == {la.name for la in
+                                        lp_water_4.network.layers}
+
+    def test_time_constant_positive(self, solver):
+        tau = solver.thermal_time_constant_s()
+        assert 0.1 < tau < 1000.0
+
+    def test_smaller_dt_converges_to_same_steady(self, lp_water_4, power):
+        fine = TransientSolver(lp_water_4.network, dt_s=0.01)
+        coarse = TransientSolver(lp_water_4.network, dt_s=0.2)
+        t_fine, _ = fine.settle(power, tol_c=1e-5)
+        t_coarse, _ = coarse.settle(power, tol_c=1e-5)
+        assert float(np.abs(t_fine - t_coarse).max()) < 0.5
+
+    def test_integrate_rejects_zero_steps(self, solver, power):
+        with pytest.raises(ThermalModelError):
+            solver.integrate(power, 0)
+
+    def test_keep_fields(self, solver, power):
+        trace = solver.integrate(power, 5, keep_fields=True)
+        assert trace.fields is not None
+        assert trace.fields.shape == (6, solver.network.num_nodes)

@@ -1,0 +1,82 @@
+"""Tests for the calibration-uncertainty study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import (
+    VARIED_PARAMETERS,
+    RobustnessResult,
+    robustness_study,
+    sample_params,
+)
+from repro.errors import ConfigurationError
+from repro.thermal.package import DEFAULT_PACKAGE
+
+
+class TestSampling:
+    def test_samples_within_band(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            p = sample_params(rng)
+            for name, factor in VARIED_PARAMETERS.items():
+                base = getattr(DEFAULT_PACKAGE, name)
+                value = getattr(p, name)
+                assert base / factor - 1e-12 <= value <= base * factor + 1e-12
+
+    def test_unvaried_fields_unchanged(self):
+        rng = np.random.default_rng(1)
+        p = sample_params(rng)
+        assert p.sink_fin_area_m2 == DEFAULT_PACKAGE.sink_fin_area_m2
+        assert p.ambient_c == DEFAULT_PACKAGE.ambient_c
+
+    def test_reproducible(self):
+        a = sample_params(np.random.default_rng(5))
+        b = sample_params(np.random.default_rng(5))
+        assert a == b
+
+    def test_invalid_band_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            sample_params(rng, bands={"die_k_lateral": 0.9})
+
+    def test_log_symmetry(self):
+        """Median of log-uniform draws sits near the fitted value."""
+        rng = np.random.default_rng(2)
+        values = [getattr(sample_params(rng), "die_bond_r_m2kw")
+                  for _ in range(400)]
+        median = float(np.median(values))
+        base = DEFAULT_PACKAGE.die_bond_r_m2kw
+        assert median == pytest.approx(base, rel=0.15)
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small but meaningful sample; deterministic.
+        return robustness_study(n_draws=10, seed=3)
+
+    def test_rates_in_unit_interval(self, result):
+        for rate in (result.ordering_rate, result.water_deepest_rate,
+                     result.pipe_cliff_rate,
+                     result.water_beats_oil_npb_rate):
+            assert 0.0 <= rate <= 1.0
+
+    def test_core_conclusions_robust(self, result):
+        """The paper's qualitative spine survives the calibration band."""
+        assert result.ordering_rate >= 0.9
+        assert result.water_deepest_rate >= 0.9
+        assert result.water_beats_oil_npb_rate >= 0.9
+
+    def test_cliff_is_the_fragile_anchor(self, result):
+        """The pipe-fails-at-8 cliff is knife-edge by construction
+        (docs/calibration.md) — it should be the least robust rate."""
+        assert result.pipe_cliff_rate <= result.ordering_rate
+
+    def test_all_conclusions_helper(self, result):
+        assert result.all_conclusions_robust(threshold=0.8)
+
+    def test_zero_draws_rejected(self):
+        with pytest.raises(ConfigurationError):
+            robustness_study(n_draws=0)

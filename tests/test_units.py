@@ -1,0 +1,55 @@
+"""Tests for repro.units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+def test_ghz_roundtrip():
+    assert units.to_ghz(units.ghz(3.6)) == pytest.approx(3.6)
+
+
+def test_ghz_scale():
+    assert units.ghz(1.0) == 1e9
+
+
+def test_mhz_constant():
+    assert units.MHZ == 1e6
+
+
+def test_length_helpers():
+    assert units.mm(13.0) == pytest.approx(0.013)
+    assert units.cm(6.0) == pytest.approx(0.06)
+    assert units.um(120.0) == pytest.approx(120e-6)
+
+
+def test_area_helpers():
+    assert units.mm2(169.0) == pytest.approx(169e-6)
+    assert units.cm2(36.0) == pytest.approx(36e-4)
+
+
+def test_area_consistency_with_lengths():
+    # 13 mm x 13 mm die = 169 mm**2
+    assert units.mm(13.0) ** 2 == pytest.approx(units.mm2(169.0))
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(80.0)) == 80.0
+
+
+def test_celsius_to_kelvin_offset():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+def test_reference_conditions_match_paper():
+    assert units.AMBIENT_C == 25.0
+    assert units.THRESHOLD_C == 80.0
+    assert units.E5_THRESHOLD_C == 78.0
+
+
+def test_byte_units():
+    assert units.KIB == 1024
+    assert units.MIB == 1024 ** 2
+    assert units.GIB == 1024 ** 3
