@@ -9,6 +9,8 @@ Commands:
 * ``maps`` — ASCII thermal maps (Figs. 9/16/18).
 * ``pue`` — the Section 4.4 facility comparison.
 * ``headline`` — the abstract's numbers, end to end.
+* ``campaign`` — resilient checkpointed sweep campaign (retry,
+  graceful degradation, failure ledger, resume).
 """
 
 from __future__ import annotations
@@ -143,6 +145,65 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import warnings
+
+    from .core.campaign import CampaignRunner, frequency_grid, npb_grid
+    from .errors import DegradedResultWarning
+    from .resilience import FaultInjector, FaultSpec, ResilienceOptions, \
+        RetryPolicy
+
+    chips = tuple(range(1, args.max_chips + 1))
+    cools = tuple(args.cooling) if args.cooling else (
+        "air", "water_pipe", "mineral_oil", "fluorinert", "water")
+    if args.kind == "npb":
+        points = npb_grid(args.chip, chips, cools)
+    else:
+        points = frequency_grid(args.chip, chips, cools)
+
+    injector = None
+    if args.inject:
+        injector = FaultInjector(
+            [FaultSpec.parse(s) for s in args.inject], seed=args.seed)
+    options = ResilienceOptions(
+        retry_policy=RetryPolicy(max_attempts=args.max_retries + 1,
+                                 seed=args.seed),
+        allow_degraded=args.allow_degraded,
+        injector=injector,
+    )
+    runner = CampaignRunner(points, resilience=options,
+                            checkpoint_path=args.checkpoint,
+                            point_timeout_s=args.timeout)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        result = runner.run(resume=args.resume)
+
+    rows = []
+    for point in points:
+        r = result.records[point.key]
+        rows.append([point.key, r.status,
+                     r.f_ghz if r.status == "ok" else None,
+                     r.rung or "-", "yes" if r.degraded else "no",
+                     r.attempts])
+    print(format_table(
+        ["point", "status", "GHz", "rung", "degraded", "attempts"],
+        rows, float_fmt="{:.1f}"))
+    s = result.summary()
+    print(f"evaluated {s['evaluated']}, skipped {s['skipped']} "
+          f"(checkpointed), ok {s['ok']}, infeasible {s['infeasible']}, "
+          f"degraded {s['degraded']}, failed {s['failed']}")
+    if result.ledger:
+        print("failure ledger:")
+        for e in result.ledger:
+            print(f"  {e.key}: {e.exception}: {e.message} "
+                  f"(attempts {e.attempts}, rungs "
+                  f"{'/'.join(e.rungs_tried)})")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    finished = s["ok"] + s["infeasible"]
+    return 0 if finished > 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -203,6 +264,38 @@ def build_parser() -> argparse.ArgumentParser:
                                 '\'{"chip": "low-power-cmp", '
                                 '"n_chips": 6, "cooling": "water"}\'')
     p.set_defaults(func=_cmd_spec)
+
+    p = sub.add_parser(
+        "campaign",
+        help="resilient checkpointed sweep campaign with retry, "
+             "graceful degradation, and a failure ledger")
+    add_chip(p, default="low-power-cmp")
+    p.add_argument("--kind", choices=("freq", "npb"), default="freq",
+                   help="grid family: max-frequency points or NPB "
+                        "co-simulation points")
+    p.add_argument("--max-chips", type=int, default=8)
+    p.add_argument("--cooling", nargs="*", default=None)
+    p.add_argument("--checkpoint", default="campaign.json",
+                   help="JSON checkpoint path (rewritten after every "
+                        "point)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points already finished in the checkpoint; "
+                        "re-attempt failed ones")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per point after the first attempt "
+                        "(transient errors only)")
+    p.add_argument("--allow-degraded", action="store_true",
+                   help="permit analytic-model fallback when the "
+                        "sparse-LU tier fails (results tagged degraded)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock budget in seconds")
+    p.add_argument("--inject", nargs="*", default=None,
+                   metavar="KIND[:PROB[:MAX]]",
+                   help="fault injection for testing, e.g. "
+                        "'singular:0.5' 'timeout:0.3:2'")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for fault injection and retry jitter")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("robustness",
                        help="conclusion survival over the calibration "

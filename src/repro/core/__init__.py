@@ -1,5 +1,15 @@
 """Core pipeline: frequency optimization, sweeps, co-simulation."""
 
+from .campaign import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignRunner,
+    LedgerEntry,
+    PointRecord,
+    evaluate_point,
+    frequency_grid,
+    npb_grid,
+)
 from .cosim import (
     CoolingOutcome,
     NpbComparison,
@@ -32,6 +42,14 @@ from .sweeps import (
 )
 
 __all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignRunner",
+    "LedgerEntry",
+    "PointRecord",
+    "evaluate_point",
+    "frequency_grid",
+    "npb_grid",
     "DtmController",
     "DtmPolicy",
     "DtmTrace",

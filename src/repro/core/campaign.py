@@ -1,0 +1,483 @@
+"""Checkpointed, fault-tolerant sweep campaigns.
+
+The paper's figures come from grids of operating points (chip x stack
+height x cooling option). A naive loop dies on the first singular
+network or NaN and loses every finished point; :class:`CampaignRunner`
+instead executes the grid point by point with
+
+* per-point retry/backoff and graceful degradation
+  (:mod:`repro.resilience`);
+* a JSON checkpoint rewritten atomically after every point, so a
+  killed campaign resumes without recomputing finished work;
+* a structured failure ledger (config, exception class, rungs tried,
+  attempts) instead of an abort;
+* provenance on every record: which ladder rung produced it, whether
+  it is degraded, and how many attempts it took.
+
+Grids for the two figure families are built by
+:func:`frequency_grid` (Figs. 1/7/8/17) and :func:`npb_grid`
+(Figs. 10-13); :meth:`CampaignResult.frequency_series` and
+:meth:`CampaignResult.npb_comparison` convert finished campaigns back
+into the result objects the figure drivers consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..errors import (
+    CheckpointError,
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    TransientSolverError,
+)
+from ..resilience import ResilienceOptions
+from ..resilience.degrade import (
+    DegradationLadder,
+    freq_point_rungs,
+    perf_model_rungs,
+)
+from ..thermal.package import DEFAULT_PACKAGE, PackageParams
+from .freqopt import OperatingPoint
+
+CHECKPOINT_VERSION = 1
+
+_FINISHED = ("ok", "infeasible")
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One grid point of a campaign.
+
+    Attributes:
+        kind: ``"freq"`` (max-frequency search only) or ``"npb"``
+            (max-frequency search plus NPB execution times).
+        chip / n_chips / cooling: the configuration.
+        threshold_c: temperature limit override (None = chip default).
+        threads: simulated thread count for npb points (None = all
+            cores).
+    """
+
+    kind: str
+    chip: str
+    n_chips: int
+    cooling: str
+    threshold_c: float | None = None
+    threads: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("freq", "npb"):
+            raise ConfigurationError(
+                f"unknown campaign point kind {self.kind!r}")
+        if self.n_chips < 1:
+            raise ConfigurationError("n_chips must be >= 1")
+
+    @property
+    def key(self) -> str:
+        """Stable checkpoint key of this point."""
+        return f"{self.kind}/{self.chip}/n{self.n_chips}/{self.cooling}"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the checkpoint."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignPoint":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**d)
+
+
+def frequency_grid(chip: str, chips: tuple[int, ...],
+                   coolings: tuple[str, ...], *,
+                   threshold_c: float | None = None
+                   ) -> tuple[CampaignPoint, ...]:
+    """The Figs. 1/7/8/17 grid: every (stack height, cooling) pair."""
+    return tuple(
+        CampaignPoint(kind="freq", chip=chip, n_chips=n, cooling=c,
+                      threshold_c=threshold_c)
+        for c in coolings for n in chips
+    )
+
+
+def npb_grid(chip: str, chips: tuple[int, ...],
+             coolings: tuple[str, ...], *,
+             threads: int | None = None) -> tuple[CampaignPoint, ...]:
+    """The Figs. 10-13 grid: NPB times at every (height, cooling)."""
+    return tuple(
+        CampaignPoint(kind="npb", chip=chip, n_chips=n, cooling=c,
+                      threads=threads)
+        for c in coolings for n in chips
+    )
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One finished (or failed) grid point, with provenance.
+
+    ``status`` is ``"ok"``, ``"infeasible"`` (a valid result the paper
+    omits from its figures), or ``"failed"`` (see the ledger).
+    """
+
+    point: CampaignPoint
+    status: str
+    f_ghz: float = 0.0
+    max_temp_c: float = 0.0
+    chip_power_w: float = 0.0
+    total_power_w: float = 0.0
+    rung: str = ""
+    degraded: bool = False
+    attempts: int = 0
+    errors: tuple[str, ...] = ()
+    npb_time_s: dict[str, float] = field(default_factory=dict)
+    perf_rung: str = ""
+
+    @property
+    def finished(self) -> bool:
+        """True when resume must not recompute this point."""
+        return self.status in _FINISHED
+
+    def operating_point(self) -> OperatingPoint:
+        """Reconstruct the frequency-optimizer result object."""
+        return OperatingPoint(
+            f_hz=self.f_ghz * 1e9,
+            max_temp_c=self.max_temp_c,
+            feasible=self.status == "ok",
+            chip_power_w=self.chip_power_w,
+            total_power_w=self.total_power_w,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the checkpoint."""
+        d = asdict(self)
+        d["point"] = self.point.to_dict()
+        d["errors"] = list(self.errors)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PointRecord":
+        """Inverse of :meth:`to_dict`."""
+        d = dict(d)
+        d["point"] = CampaignPoint.from_dict(d["point"])
+        d["errors"] = tuple(d.get("errors", ()))
+        d["npb_time_s"] = dict(d.get("npb_time_s", {}))
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One failure, structured for postmortems."""
+
+    key: str
+    point: CampaignPoint
+    exception: str
+    message: str
+    attempts: int
+    rungs_tried: tuple[str, ...]
+    allow_degraded: bool
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the checkpoint."""
+        d = asdict(self)
+        d["point"] = self.point.to_dict()
+        d["rungs_tried"] = list(self.rungs_tried)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LedgerEntry":
+        """Inverse of :meth:`to_dict`."""
+        d = dict(d)
+        d["point"] = CampaignPoint.from_dict(d["point"])
+        d["rungs_tried"] = tuple(d.get("rungs_tried", ()))
+        return cls(**d)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or interrupted) campaign produced."""
+
+    records: dict[str, PointRecord]
+    ledger: tuple[LedgerEntry, ...]
+    evaluated: int
+    skipped: int
+    checkpoint_path: Path | None
+
+    def summary(self) -> dict[str, int]:
+        """Point counts by status, plus degraded and resume-skip counts."""
+        out = {"ok": 0, "infeasible": 0, "failed": 0, "degraded": 0,
+               "evaluated": self.evaluated, "skipped": self.skipped}
+        for r in self.records.values():
+            out[r.status] = out.get(r.status, 0) + 1
+            if r.degraded:
+                out["degraded"] += 1
+        return out
+
+    def record_for(self, point: CampaignPoint) -> PointRecord:
+        """Look up one point's record."""
+        try:
+            return self.records[point.key]
+        except KeyError:
+            raise CheckpointError(
+                f"no record for campaign point {point.key!r}") from None
+
+    def frequency_series(self, chip: str, cooling: str):
+        """A :class:`~repro.core.sweeps.FrequencySeries` with provenance.
+
+        Failed points appear as 0.0 GHz with rung ``"failed"`` — the
+        curve keeps its shape instead of losing the whole campaign.
+        """
+        from .sweeps import FrequencySeries
+        rows = sorted(
+            (r for r in self.records.values()
+             if r.point.kind == "freq" and r.point.chip == chip
+             and r.point.cooling == cooling),
+            key=lambda r: r.point.n_chips)
+        return FrequencySeries(
+            cooling=cooling,
+            chips=tuple(r.point.n_chips for r in rows),
+            f_ghz=tuple(r.f_ghz if r.status == "ok" else 0.0 for r in rows),
+            degraded=tuple(r.degraded for r in rows),
+            rungs=tuple(r.rung if r.status != "failed" else "failed"
+                        for r in rows),
+        )
+
+    def npb_comparison(self, chip: str, n_chips: int, reference: str):
+        """Rebuild a :class:`~repro.core.cosim.NpbComparison` from records."""
+        from .cosim import CoolingOutcome, NpbComparison
+        outcomes = []
+        threads = 0
+        for r in sorted((r for r in self.records.values()
+                         if r.point.kind == "npb" and r.point.chip == chip
+                         and r.point.n_chips == n_chips),
+                        key=lambda r: r.point.cooling):
+            outcomes.append(CoolingOutcome(
+                cooling=r.point.cooling,
+                point=r.operating_point(),
+                npb_time_s=dict(r.npb_time_s),
+                rung=r.rung or "failed",
+                degraded=r.degraded,
+                attempts=r.attempts,
+            ))
+            threads = r.point.threads or threads
+        return NpbComparison(chip=chip, n_chips=n_chips, threads=threads,
+                             reference=reference, outcomes=tuple(outcomes))
+
+
+def evaluate_point(point: CampaignPoint,
+                   resilience: ResilienceOptions,
+                   params: PackageParams = DEFAULT_PACKAGE) -> PointRecord:
+    """Evaluate one grid point through the degradation ladder.
+
+    This is the default evaluator; :class:`CampaignRunner` accepts any
+    callable with this signature (tests substitute counting wrappers).
+    """
+    ladder = DegradationLadder(freq_point_rungs(
+        point.chip, point.n_chips, point.cooling,
+        threshold_c=point.threshold_c, params=params,
+        injector=resilience.injector))
+    outcome = ladder.run(retry_policy=resilience.retry_policy,
+                         sleep=resilience.sleep,
+                         allow_degraded=resilience.allow_degraded)
+    op: OperatingPoint = outcome.value
+    record = PointRecord(
+        point=point,
+        status="ok" if op.feasible else "infeasible",
+        f_ghz=op.f_ghz,
+        max_temp_c=op.max_temp_c,
+        chip_power_w=op.chip_power_w,
+        total_power_w=op.total_power_w,
+        rung=outcome.rung,
+        degraded=outcome.degraded,
+        attempts=outcome.attempts,
+        errors=outcome.errors,
+    )
+    if point.kind != "npb" or not op.feasible:
+        return record
+
+    from ..perfsim.npb import NPB_ORDER, get_profile
+    from ..perfsim.system import config_for_stack
+    from ..power.processors import get_chip
+    config = config_for_stack(get_chip(point.chip), point.n_chips)
+    threads = point.threads if point.threads is not None \
+        else config.total_cores
+    perf_ladder = DegradationLadder(perf_model_rungs(
+        config, threads, injector=resilience.injector))
+    perf = perf_ladder.run(retry_policy=resilience.retry_policy,
+                           sleep=resilience.sleep,
+                           allow_degraded=resilience.allow_degraded)
+    times = {name: perf.value.execution_time_s(get_profile(name), op.f_hz)
+             for name in NPB_ORDER}
+    return PointRecord(
+        point=point,
+        status=record.status,
+        f_ghz=record.f_ghz,
+        max_temp_c=record.max_temp_c,
+        chip_power_w=record.chip_power_w,
+        total_power_w=record.total_power_w,
+        rung=record.rung,
+        degraded=record.degraded or perf.degraded,
+        attempts=record.attempts + perf.attempts,
+        errors=record.errors + perf.errors,
+        npb_time_s=times,
+        perf_rung=perf.rung,
+    )
+
+
+class CampaignRunner:
+    """Execute a grid of points with checkpointing and a failure ledger.
+
+    Args:
+        points: the grid (see :func:`frequency_grid` / :func:`npb_grid`).
+        resilience: retry / degradation / fault-injection options.
+        checkpoint_path: JSON checkpoint location (None = in-memory
+            only, no resume across processes).
+        params: package parameters forwarded to the thermal models.
+        point_timeout_s: wall-clock budget per point, enforced through
+            a worker thread. A point that exceeds it is recorded as a
+            retryable :class:`~repro.errors.TransientSolverError`
+            failure (the thread itself cannot be killed; the budget
+            bounds how long the campaign *waits*, not the solver).
+        evaluator: override for the per-point evaluation (tests).
+    """
+
+    def __init__(self, points: tuple[CampaignPoint, ...] |
+                 list[CampaignPoint], *,
+                 resilience: ResilienceOptions | None = None,
+                 checkpoint_path: str | os.PathLike | None = None,
+                 params: PackageParams = DEFAULT_PACKAGE,
+                 point_timeout_s: float | None = None,
+                 evaluator: Callable[[CampaignPoint, ResilienceOptions,
+                                      PackageParams],
+                                     PointRecord] | None = None) -> None:
+        if not points:
+            raise ConfigurationError("a campaign needs at least one point")
+        keys = [p.key for p in points]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ConfigurationError(
+                f"duplicate campaign points: {', '.join(dupes)}")
+        self.points = tuple(points)
+        self.resilience = (resilience if resilience is not None
+                           else ResilienceOptions())
+        self.checkpoint_path = (Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self.params = params
+        self.point_timeout_s = point_timeout_s
+        self.evaluator = evaluator if evaluator is not None \
+            else evaluate_point
+
+    # -- checkpoint I/O -----------------------------------------------------
+
+    def _load_checkpoint(self) -> tuple[dict[str, PointRecord],
+                                        list[LedgerEntry]]:
+        path = self.checkpoint_path
+        if path is None or not path.exists():
+            return {}, []
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path}: {exc}") from exc
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has version {data.get('version')!r}, "
+                f"expected {CHECKPOINT_VERSION}")
+        records = {k: PointRecord.from_dict(v)
+                   for k, v in data.get("points", {}).items()}
+        ledger = [LedgerEntry.from_dict(e)
+                  for e in data.get("ledger", [])]
+        return records, ledger
+
+    def _write_checkpoint(self, records: dict[str, PointRecord],
+                          ledger: list[LedgerEntry]) -> None:
+        path = self.checkpoint_path
+        if path is None:
+            return
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "points": {k: r.to_dict() for k, r in records.items()},
+            "ledger": [e.to_dict() for e in ledger],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- execution ----------------------------------------------------------
+
+    def _evaluate_with_timeout(self, point: CampaignPoint) -> PointRecord:
+        if self.point_timeout_s is None:
+            return self.evaluator(point, self.resilience, self.params)
+        from concurrent.futures import ThreadPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            fut = pool.submit(self.evaluator, point, self.resilience,
+                              self.params)
+            try:
+                return fut.result(timeout=self.point_timeout_s)
+            except FutureTimeout:
+                fut.cancel()
+                raise TransientSolverError(
+                    f"point {point.key} exceeded its "
+                    f"{self.point_timeout_s:g} s budget"
+                ) from None
+
+    def run(self, *, resume: bool = True) -> CampaignResult:
+        """Execute every point not already finished in the checkpoint.
+
+        Args:
+            resume: load the checkpoint and skip finished points.
+                Previously *failed* points are re-attempted (their old
+                ledger entries are replaced); ``resume=False`` starts
+                from scratch and overwrites the checkpoint.
+        """
+        records: dict[str, PointRecord] = {}
+        ledger: list[LedgerEntry] = []
+        if resume:
+            records, ledger = self._load_checkpoint()
+        evaluated = 0
+        skipped = 0
+        for point in self.points:
+            prior = records.get(point.key)
+            if prior is not None and prior.finished:
+                skipped += 1
+                continue
+            if prior is not None:          # re-attempting a failure
+                ledger = [e for e in ledger if e.key != point.key]
+            evaluated += 1
+            try:
+                record = self._evaluate_with_timeout(point)
+            except InfeasibleError as exc:
+                record = PointRecord(point=point, status="infeasible",
+                                     errors=(str(exc),), attempts=1)
+            except (ReproError, ArithmeticError) as exc:
+                ledger.append(LedgerEntry(
+                    key=point.key,
+                    point=point,
+                    exception=type(exc).__name__,
+                    message=str(exc),
+                    attempts=getattr(exc, "_ladder_attempts", 1),
+                    rungs_tried=getattr(exc, "_ladder_rungs",
+                                        ("sparse-lu",)),
+                    allow_degraded=self.resilience.allow_degraded,
+                ))
+                record = PointRecord(point=point, status="failed",
+                                     errors=(f"{type(exc).__name__}: "
+                                             f"{exc}",))
+            records[point.key] = record
+            self._write_checkpoint(records, ledger)
+        return CampaignResult(records=records, ledger=tuple(ledger),
+                              evaluated=evaluated, skipped=skipped,
+                              checkpoint_path=self.checkpoint_path)

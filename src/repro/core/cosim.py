@@ -11,6 +11,7 @@ cannot sustain the 8-chip low-power stack at all).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..cooling.options import get_cooling
 from ..errors import InfeasibleError
@@ -23,14 +24,27 @@ from ..thermal.hotspot import ThermalModel, model_for
 from ..thermal.package import DEFAULT_PACKAGE, PackageParams
 from .freqopt import OperatingPoint, max_frequency
 
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..resilience import ResilienceOptions
+
 
 @dataclass(frozen=True)
 class CoolingOutcome:
-    """One cooling option's end-to-end result for a stack."""
+    """One cooling option's end-to-end result for a stack.
+
+    ``rung`` / ``degraded`` / ``attempts`` record how the thermal
+    operating point was obtained: which degradation-ladder rung
+    produced it (``"sparse-lu"`` on the default path, ``"analytic"``
+    when degraded, ``"failed"`` when a resilient run could not evaluate
+    the option at all) and how many solver attempts it took.
+    """
 
     cooling: str
     point: OperatingPoint
     npb_time_s: dict[str, float]
+    rung: str = "sparse-lu"
+    degraded: bool = False
+    attempts: int = 1
 
     @property
     def feasible(self) -> bool:
@@ -96,12 +110,18 @@ def run_npb_comparison(chip_name: str, n_chips: int, *,
                            "water_pipe", "mineral_oil", "fluorinert",
                            "water"),
                        threads: int | None = None,
-                       params: PackageParams = DEFAULT_PACKAGE
+                       params: PackageParams = DEFAULT_PACKAGE,
+                       resilience: "ResilienceOptions | None" = None
                        ) -> NpbComparison:
     """Run the full co-simulation for one figure's configuration.
 
     Infeasible options are included with ``feasible=False`` and empty
     time tables (the paper leaves their bars out of the figure).
+
+    With ``resilience`` given, each cooling option's thermal search
+    runs through the retry policy and degradation ladder; an option
+    that fails outright becomes an infeasible outcome tagged
+    ``rung="failed"`` instead of aborting the comparison.
     """
     chip = get_chip(chip_name)
     config: SystemConfig = config_for_stack(chip, n_chips)
@@ -110,6 +130,11 @@ def run_npb_comparison(chip_name: str, n_chips: int, *,
 
     outcomes = []
     for cooling in coolings:
+        if resilience is not None:
+            outcome = _resilient_outcome(chip_name, n_chips, cooling,
+                                         params, perf, resilience)
+            outcomes.append(outcome)
+            continue
         model = model_for(chip_name, n_chips, cooling, params=params)
         point = max_frequency(model)
         times: dict[str, float] = {}
@@ -127,6 +152,38 @@ def run_npb_comparison(chip_name: str, n_chips: int, *,
         reference=reference,
         outcomes=tuple(outcomes),
     )
+
+
+def _resilient_outcome(chip_name: str, n_chips: int, cooling: str,
+                       params: PackageParams, perf: AnalyticModel,
+                       resilience: "ResilienceOptions") -> CoolingOutcome:
+    """One cooling option through the retry + degradation machinery."""
+    from ..errors import ReproError
+    from ..resilience.degrade import DegradationLadder, freq_point_rungs
+    ladder = DegradationLadder(freq_point_rungs(
+        chip_name, n_chips, cooling, params=params,
+        injector=resilience.injector))
+    try:
+        o = ladder.run(retry_policy=resilience.retry_policy,
+                       sleep=resilience.sleep,
+                       allow_degraded=resilience.allow_degraded)
+    except ReproError:
+        infeasible = OperatingPoint(f_hz=0.0, max_temp_c=0.0,
+                                    feasible=False, chip_power_w=0.0,
+                                    total_power_w=0.0)
+        return CoolingOutcome(cooling=cooling, point=infeasible,
+                              npb_time_s={}, rung="failed",
+                              degraded=False, attempts=0)
+    point: OperatingPoint = o.value
+    times: dict[str, float] = {}
+    if point.feasible:
+        times = {
+            name: perf.execution_time_s(get_profile(name), point.f_hz)
+            for name in NPB_ORDER
+        }
+    return CoolingOutcome(cooling=cooling, point=point, npb_time_s=times,
+                          rung=o.rung, degraded=o.degraded,
+                          attempts=o.attempts)
 
 
 def headline_summary() -> dict[str, float]:

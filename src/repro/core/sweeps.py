@@ -11,6 +11,7 @@ Each function regenerates the data series of one figure family:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,30 +23,77 @@ from ..thermal.hotspot import ThermalModel, model_for
 from ..thermal.package import DEFAULT_PACKAGE, PackageParams
 from .freqopt import OperatingPoint, max_frequency
 
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..resilience import ResilienceOptions
+
 
 @dataclass(frozen=True)
 class FrequencySeries:
-    """One cooling option's max-frequency-vs-chips curve."""
+    """One cooling option's max-frequency-vs-chips curve.
+
+    Attributes:
+        cooling: the cooling option name.
+        chips: stack heights, ascending.
+        f_ghz: max frequency per height (0.0 where infeasible or, on a
+            resilient run, where the point failed outright).
+        degraded: per-point flags — True when the value came from a
+            degraded ladder rung (empty on non-resilient runs).
+        rungs: per-point provenance — the ladder rung name, or
+            ``"failed"`` (empty on non-resilient runs).
+    """
 
     cooling: str
     chips: tuple[int, ...]
     f_ghz: tuple[float, ...]   # 0.0 where infeasible
+    degraded: tuple[bool, ...] = ()
+    rungs: tuple[str, ...] = ()
 
     def feasible_up_to(self) -> int:
-        """Largest chip count with a feasible operating point."""
+        """Largest chip count with a feasible operating point.
+
+        Deliberately the largest feasible height *even across
+        infeasible gaps*: with feasible n=2, infeasible n=3, feasible
+        n=4 the answer is 4. The paper's curves (Figs. 7/8/17) plot
+        every feasible point and simply omit infeasible ones, so the
+        headline "water sustains up to N chips" must not be clipped by
+        an interior gap (which can appear under aggressive thresholds
+        or degraded-model evaluation). Use :meth:`contiguous_up_to`
+        for the gap-free prefix.
+        """
         best = 0
         for n, f in zip(self.chips, self.f_ghz):
             if f > 0:
                 best = n
         return best
 
+    def contiguous_up_to(self) -> int:
+        """Largest chip count of the gap-free feasible prefix."""
+        best = 0
+        for n, f in zip(self.chips, self.f_ghz):
+            if f <= 0:
+                break
+            best = n
+        return best
+
 
 def frequency_vs_chips(chip_name: str, chips: tuple[int, ...],
                        coolings: tuple[str, ...],
                        *, threshold_c: float | None = None,
-                       params: PackageParams = DEFAULT_PACKAGE
+                       params: PackageParams = DEFAULT_PACKAGE,
+                       resilience: "ResilienceOptions | None" = None
                        ) -> tuple[FrequencySeries, ...]:
-    """Max frequency vs stack height for several cooling options."""
+    """Max frequency vs stack height for several cooling options.
+
+    With ``resilience`` given, every point is evaluated through the
+    retry policy and degradation ladder: a point whose sparse-LU solve
+    fails can fall back to the analytic thermal model (when
+    ``allow_degraded``), and a point that fails outright becomes a
+    0.0 GHz entry tagged ``"failed"`` instead of aborting the sweep.
+    """
+    if resilience is not None:
+        return _frequency_vs_chips_resilient(
+            chip_name, chips, coolings, threshold_c=threshold_c,
+            params=params, resilience=resilience)
     out = []
     for cooling in coolings:
         freqs = []
@@ -55,6 +103,36 @@ def frequency_vs_chips(chip_name: str, chips: tuple[int, ...],
             freqs.append(p.f_ghz if p.feasible else 0.0)
         out.append(FrequencySeries(cooling=cooling, chips=tuple(chips),
                                    f_ghz=tuple(freqs)))
+    return tuple(out)
+
+
+def _frequency_vs_chips_resilient(chip_name, chips, coolings, *,
+                                  threshold_c, params, resilience
+                                  ) -> tuple[FrequencySeries, ...]:
+    from ..errors import ReproError
+    from ..resilience.degrade import DegradationLadder, freq_point_rungs
+    out = []
+    for cooling in coolings:
+        freqs, degraded, rungs = [], [], []
+        for n in chips:
+            ladder = DegradationLadder(freq_point_rungs(
+                chip_name, n, cooling, threshold_c=threshold_c,
+                params=params, injector=resilience.injector))
+            try:
+                o = ladder.run(retry_policy=resilience.retry_policy,
+                               sleep=resilience.sleep,
+                               allow_degraded=resilience.allow_degraded)
+            except ReproError:
+                freqs.append(0.0)
+                degraded.append(False)
+                rungs.append("failed")
+                continue
+            freqs.append(o.value.f_ghz if o.value.feasible else 0.0)
+            degraded.append(o.degraded)
+            rungs.append(o.rung)
+        out.append(FrequencySeries(
+            cooling=cooling, chips=tuple(chips), f_ghz=tuple(freqs),
+            degraded=tuple(degraded), rungs=tuple(rungs)))
     return tuple(out)
 
 

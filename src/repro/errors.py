@@ -4,6 +4,31 @@ Every error raised by the library derives from :class:`ReproError` so
 callers can catch library failures without masking programming errors
 (``TypeError``/``ValueError`` raised by misuse are still allowed where the
 standard library would raise them).
+
+Retry / degradation classification
+----------------------------------
+
+The resilient campaign runner (:mod:`repro.resilience`) sorts these
+classes into three buckets (see
+:func:`repro.resilience.retry.classify_error`):
+
+* **retryable** — the same call may succeed on a second attempt:
+  :class:`TransientSolverError` (simulated solver timeouts, iteration
+  stalls). Retried with bounded exponential backoff.
+* **fatal** — the configuration itself is wrong, so retrying or
+  degrading cannot help: :class:`ConfigurationError`,
+  :class:`FloorplanError`, :class:`VFSRangeError`,
+  :class:`CalibrationError`, and any non-:class:`ReproError`.
+* **degradable** — this model tier failed but a lower-fidelity tier may
+  still produce a usable answer: :class:`SingularNetworkError`,
+  :class:`ThermalModelError`, :class:`PowerModelError`,
+  :class:`SimulationError`, and any other :class:`ReproError`. The
+  degradation ladder falls to the next rung and tags the result with a
+  :class:`DegradedResultWarning`.
+
+:class:`InfeasibleError` is none of the three: an infeasible operating
+point is a *result* (the paper simply omits the bar), so campaigns
+record it rather than retrying it.
 """
 
 from __future__ import annotations
@@ -52,3 +77,28 @@ class SimulationError(ReproError):
 
 class CalibrationError(ReproError):
     """A calibration routine failed to converge to its anchors."""
+
+
+class TransientSolverError(ReproError):
+    """A solver failed for a reason that may not recur (retryable).
+
+    Covers simulated solver timeouts and iteration stalls — conditions
+    where re-running the identical call can legitimately succeed. The
+    retry policy in :mod:`repro.resilience.retry` treats this class (and
+    only this class) as retryable by default.
+    """
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint file is missing, corrupt, or incompatible."""
+
+
+class DegradedResultWarning(Warning):
+    """A result was produced by a degraded model rung.
+
+    Emitted by the degradation ladder when the full-fidelity tier
+    (sparse-LU thermal network, flit-level NoC) failed and a
+    lower-fidelity analytic tier supplied the value. The result carries
+    ``degraded=True`` provenance; this warning makes the substitution
+    visible to interactive users as well.
+    """

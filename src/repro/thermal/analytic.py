@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import ThermalModelError
 from .materials import Material
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..cooling.options import CoolingOption
+    from ..stack.chipstack import StackConfig
+    from .package import PackageParams
 
 
 @dataclass(frozen=True)
@@ -136,3 +142,90 @@ class FinArray:
     def resistance(self, h_w_m2k: float) -> float:
         """Convective resistance of the array, K/W."""
         return 1.0 / self.effective_conductance(h_w_m2k)
+
+
+class AnalyticStackModel:
+    """0-D closed-form stand-in for the grid :class:`ThermalModel`.
+
+    The graceful-degradation ladder (:mod:`repro.resilience.degrade`)
+    falls back to this model when the sparse-LU network cannot be
+    factorized or solved. It mirrors the package builder's vertical
+    resistance chain — bottom die up through the inter-die bonds, TIMs,
+    spreader, and sink into the coolant — as lumped series resistances,
+    evaluated at the hottest (bottom) die:
+
+        T_max(f) = T_amb + P_chip * R_stackup(n) + P_total * R_common
+
+    where ``R_stackup`` charges die ``i``'s heat for every bond it
+    crosses (triangular sum) and ``R_common`` is the shared
+    spreader/sink/convection path. Lateral spreading and the secondary
+    board path are ignored, so the estimate is conservative (runs
+    hotter than the grid model); it is monotone increasing in frequency,
+    which keeps :func:`repro.core.freqopt.max_frequency` valid on it.
+
+    The interface is the subset of :class:`~repro.thermal.hotspot.
+    ThermalModel` that the frequency optimizer touches: ``stack`` plus
+    :meth:`max_temperature_c`.
+    """
+
+    def __init__(self, stack: StackConfig, cooling: CoolingOption,
+                 params: PackageParams | None = None) -> None:
+        from .materials import COPPER, SILICON
+        from .package import DEFAULT_PACKAGE
+        if params is None:
+            params = DEFAULT_PACKAGE
+        self.stack = stack
+        self.cooling = cooling
+        self.params = params
+
+        chip = stack.chip
+        die_area = chip.floorplan().die_area
+        spreader_area = params.spreader_side_m ** 2
+        t_die = chip.die_thickness_m
+        die_sheet = SILICON.sheet_resistance(t_die)
+
+        # Stack-up: die i's heat crosses (n-1-i) bond+die segments on
+        # its way up; with identical per-chip power the total rise at
+        # the bottom die telescopes into the triangular sum below.
+        n = stack.n_chips
+        seg_r = (params.die_bond_r_m2kw + die_sheet) / die_area
+        self._r_stackup_kw = seg_r * n * (n - 1) / 2.0
+
+        # Common path: top-die half thickness, TIM, spreader, TIM, then
+        # the style-dependent heat exchanger — mirroring build_network.
+        r_common = (0.5 * die_sheet + params.tim_spreader_r_m2kw) / die_area
+        r_common += (COPPER.sheet_resistance(params.spreader_thickness_m)
+                     / spreader_area)
+        r_common += params.tim_sink_r_m2kw / spreader_area
+        if cooling.style == "cold_plate":
+            r_common += cooling.cold_plate_r_kw
+        else:
+            r_common += (COPPER.sheet_resistance(params.sink_thickness_m)
+                         / params.sink_area_m2)
+            h_fin = cooling.surface_conductance_w_m2k(
+                cooling.primary_coolant)
+            fin_area = params.sink_fin_area_m2
+            if cooling.primary_coolant.name == "air":
+                fin_area *= params.air_fin_utilization
+            r_common += 1.0 / (h_fin * fin_area)
+        self._r_common_kw = r_common
+
+    @property
+    def die_names(self) -> tuple[str, ...]:
+        """Virtual die layer names (interface parity with ThermalModel)."""
+        return tuple(f"die{i}" for i in range(self.stack.n_chips))
+
+    def max_temperature_c(self, f_hz: float) -> float:
+        """Estimated hottest (bottom-die) temperature at a VFS step."""
+        p_chip = self.stack.chip.total_power_w(f_hz)
+        p_total = self.stack.total_power_w(f_hz)
+        return (self.params.ambient_c
+                + p_chip * self._r_stackup_kw
+                + p_total * self._r_common_kw)
+
+    def meets_threshold(self, f_hz: float,
+                        threshold_c: float | None = None) -> bool:
+        """True if the estimate stays at/below the threshold."""
+        limit = (threshold_c if threshold_c is not None
+                 else self.stack.chip.threshold_c)
+        return self.max_temperature_c(f_hz) <= limit + 1e-9

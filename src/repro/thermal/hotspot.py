@@ -50,6 +50,11 @@ class ThermalModel:
         self._die_names = die_layer_names(stack)
         self._result_cache: dict[float, ThermalResult] = {}
 
+    @property
+    def die_names(self) -> tuple[str, ...]:
+        """Die layer names, bottom first (the layers the threshold sees)."""
+        return self._die_names
+
     def power_maps(self, f_hz: float) -> dict[str, np.ndarray]:
         """Per-die power maps at a VFS step (worst-case activity)."""
         return stack_power_maps(self.stack, f_hz, self.params)

@@ -238,7 +238,7 @@ class ThermalNetwork:
         self._boundary_tamb = bgt
         try:
             self._lu = splu(g)
-        except RuntimeError as exc:  # pragma: no cover - singular fallback
+        except RuntimeError as exc:
             raise SingularNetworkError(
                 f"conductance matrix is singular: {exc}; check that every "
                 f"layer is connected to a boundary"
@@ -285,6 +285,11 @@ class ThermalNetwork:
                 raise ThermalModelError(
                     f"power map for layer {name!r} must be "
                     f"({la.ny}, {la.nx}), got {a.shape}"
+                )
+            if not np.all(np.isfinite(a)):
+                raise ThermalModelError(
+                    f"power map for layer {name!r} contains non-finite "
+                    f"cells (NaN/Inf)"
                 )
             if np.any(a < 0):
                 raise ThermalModelError(
