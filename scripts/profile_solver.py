@@ -5,6 +5,10 @@ paths of the library — network assembly/factorization and the repeated
 solves of a frequency sweep — with cProfile, and prints the top
 functions by cumulative time. Run it before touching the solver.
 
+Wall time comes from the :mod:`repro.obs` span tracer (monotonic
+clock) and the per-stage accounting from its metrics registry, so this
+script exercises the same instrumentation every production run emits.
+
 Usage: python scripts/profile_solver.py [n_chips]
 """
 
@@ -14,10 +18,10 @@ import cProfile
 import io
 import pstats
 import sys
-import time
 
 from repro.cooling import get_cooling
 from repro.core.freqopt import max_frequency
+from repro.obs import Tracer, get_registry
 from repro.power import get_chip
 from repro.stack import uniform_stack
 from repro.thermal import ThermalModel
@@ -34,9 +38,11 @@ def workload(n_chips: int) -> None:
 def main() -> None:
     n_chips = int(sys.argv[1]) if len(sys.argv) > 1 else 8
 
-    t0 = time.perf_counter()
-    workload(n_chips)
-    wall = time.perf_counter() - t0
+    tracer = Tracer(enabled=True)
+    solves_before = get_registry().counter("thermal.solves").value
+    with tracer.span("profile.workload", n_chips=n_chips) as sp:
+        workload(n_chips)
+    wall = sp.duration_s
     print(f"wall time ({n_chips}-chip sweep, 4 coolants): {wall:.2f} s\n")
 
     profiler = cProfile.Profile()
@@ -53,6 +59,11 @@ def main() -> None:
           "matrices, COO build) is\nsecond; everything else is noise. "
           "If Python-level loops appear near the\ntop, something "
           "regressed.")
+
+    # Cross-check against the always-on registry: the instrumented
+    # solver must have counted the sweep's triangular solves.
+    solves = get_registry().counter("thermal.solves").value - solves_before
+    assert solves > 0, "instrumented solver recorded no solves"
 
 
 if __name__ == "__main__":

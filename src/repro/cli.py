@@ -11,6 +11,16 @@ Commands:
 * ``headline`` — the abstract's numbers, end to end.
 * ``campaign`` — resilient checkpointed sweep campaign (retry,
   graceful degradation, failure ledger, resume).
+
+Every subcommand accepts the global observability flags (before *or*
+after the subcommand name):
+
+* ``--trace-out PATH`` — write a span trace; ``.jsonl`` gets one span
+  per line, anything else gets Chrome ``trace_event`` JSON loadable in
+  ``about:tracing`` / https://ui.perfetto.dev;
+* ``--metrics-out PATH`` — write the metrics-registry snapshot as JSON;
+* ``-v`` / ``-vv`` — structured JSON logging on stderr (``-vv`` also
+  streams every finished span).
 """
 
 from __future__ import annotations
@@ -200,8 +210,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                   f"{'/'.join(e.rungs_tried)})")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+        print(f"manifest: {runner.manifest_path()}")
     finished = s["ok"] + s["infeasible"]
     return 0 if finished > 0 else 1
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """The global observability flags (added to root and subparsers, so
+    they parse in either position).
+
+    SUPPRESS keeps an absent flag from ever touching the namespace:
+    the subparser parses into a fresh namespace and copies every set
+    key over the root's, so a plain ``default=None`` here would clobber
+    a value parsed before the subcommand name.
+    """
+    p.add_argument("--trace-out", default=argparse.SUPPRESS,
+                   metavar="PATH",
+                   help="write a span trace (.jsonl = JSON lines, "
+                        "otherwise Chrome trace_event JSON for "
+                        "about:tracing / Perfetto)")
+    p.add_argument("--metrics-out", default=argparse.SUPPRESS,
+                   metavar="PATH",
+                   help="write the metrics-registry snapshot as JSON")
+    p.add_argument("-v", "--verbose", action="count",
+                   default=argparse.SUPPRESS,
+                   help="structured JSON logging on stderr "
+                        "(-vv also streams finished spans)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Water-immersion computer boards (ICPP 2019), "
                     "reproduced.",
     )
+    _add_obs_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_chip(p, default="high-frequency-cmp"):
@@ -304,13 +339,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_robustness)
 
+    # Accept the observability flags after the subcommand too
+    # (`repro campaign --trace-out t.json ...`). Values parsed by the
+    # subparser win; argparse keeps root-parsed values otherwise.
+    for p in sub.choices.values():
+        _add_obs_flags(p)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+
+    from .obs import get_tracer, log_event, set_verbosity
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    verbose = getattr(args, "verbose", 0) or 0
+
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    prior_on_close = tracer.on_close
+    if verbose:
+        set_verbosity(verbose)
+        if verbose >= 2:
+            tracer.on_close = lambda sp: log_event(
+                "span", level=2, name=sp.name,
+                duration_ms=round(sp.duration_s * 1e3, 3),
+                parent_id=sp.parent_id, **sp.attrs)
+    if trace_out is not None or verbose >= 2:
+        tracer.enable()
+    try:
+        with tracer.span(f"cli.{args.command}"):
+            rc = args.func(args)
+    finally:
+        if trace_out is not None:
+            if str(trace_out).endswith(".jsonl"):
+                tracer.write_jsonl(trace_out)
+            else:
+                tracer.write_chrome_trace(trace_out)
+        if metrics_out is not None:
+            from .obs import get_registry
+            get_registry().write_json(metrics_out)
+        if verbose:
+            set_verbosity(0)
+        tracer.on_close = prior_on_close
+        if not was_enabled:
+            tracer.disable()
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -36,6 +37,15 @@ from ..errors import (
     InfeasibleError,
     ReproError,
     TransientSolverError,
+)
+from ..obs import (
+    build_manifest,
+    config_hash,
+    counter,
+    get_registry,
+    log_event,
+    span,
+    write_manifest,
 )
 from ..resilience import ResilienceOptions
 from ..resilience.degrade import (
@@ -171,7 +181,11 @@ class PointRecord:
 
 @dataclass(frozen=True)
 class LedgerEntry:
-    """One failure, structured for postmortems."""
+    """One failure, structured for postmortems.
+
+    ``config_hash`` ties the entry to the campaign manifest it happened
+    under (empty on entries from pre-manifest checkpoints).
+    """
 
     key: str
     point: CampaignPoint
@@ -180,6 +194,7 @@ class LedgerEntry:
     attempts: int
     rungs_tried: tuple[str, ...]
     allow_degraded: bool
+    config_hash: str = ""
 
     def to_dict(self) -> dict:
         """Plain-dict form for the checkpoint."""
@@ -199,13 +214,19 @@ class LedgerEntry:
 
 @dataclass
 class CampaignResult:
-    """Everything a finished (or interrupted) campaign produced."""
+    """Everything a finished (or interrupted) campaign produced.
+
+    ``manifest`` is the run's provenance record (see
+    :mod:`repro.obs.manifest`); it is also written next to the
+    checkpoint as ``<checkpoint>.manifest.json``.
+    """
 
     records: dict[str, PointRecord]
     ledger: tuple[LedgerEntry, ...]
     evaluated: int
     skipped: int
     checkpoint_path: Path | None
+    manifest: dict | None = None
 
     def summary(self) -> dict[str, int]:
         """Point counts by status, plus degraded and resume-skip counts."""
@@ -280,9 +301,10 @@ def evaluate_point(point: CampaignPoint,
         point.chip, point.n_chips, point.cooling,
         threshold_c=point.threshold_c, params=params,
         injector=resilience.injector))
-    outcome = ladder.run(retry_policy=resilience.retry_policy,
-                         sleep=resilience.sleep,
-                         allow_degraded=resilience.allow_degraded)
+    with span("thermal.ladder", key=point.key):
+        outcome = ladder.run(retry_policy=resilience.retry_policy,
+                             sleep=resilience.sleep,
+                             allow_degraded=resilience.allow_degraded)
     op: OperatingPoint = outcome.value
     record = PointRecord(
         point=point,
@@ -302,16 +324,21 @@ def evaluate_point(point: CampaignPoint,
     from ..perfsim.npb import NPB_ORDER, get_profile
     from ..perfsim.system import config_for_stack
     from ..power.processors import get_chip
-    config = config_for_stack(get_chip(point.chip), point.n_chips)
+    with span("power.system_config", chip=point.chip,
+              n_chips=point.n_chips):
+        config = config_for_stack(get_chip(point.chip), point.n_chips)
     threads = point.threads if point.threads is not None \
         else config.total_cores
     perf_ladder = DegradationLadder(perf_model_rungs(
         config, threads, injector=resilience.injector))
-    perf = perf_ladder.run(retry_policy=resilience.retry_policy,
-                           sleep=resilience.sleep,
-                           allow_degraded=resilience.allow_degraded)
-    times = {name: perf.value.execution_time_s(get_profile(name), op.f_hz)
-             for name in NPB_ORDER}
+    with span("perf.ladder", key=point.key, threads=threads):
+        perf = perf_ladder.run(retry_policy=resilience.retry_policy,
+                               sleep=resilience.sleep,
+                               allow_degraded=resilience.allow_degraded)
+    with span("perf.npb_times", key=point.key, f_ghz=op.f_ghz):
+        times = {name: perf.value.execution_time_s(get_profile(name),
+                                                   op.f_hz)
+                 for name in NPB_ORDER}
     return PointRecord(
         point=point,
         status=record.status,
@@ -370,6 +397,41 @@ class CampaignRunner:
         self.point_timeout_s = point_timeout_s
         self.evaluator = evaluator if evaluator is not None \
             else evaluate_point
+        policy = self.resilience.retry_policy
+        self._campaign_config = {
+            "points": sorted(keys),
+            "allow_degraded": self.resilience.allow_degraded,
+            "max_attempts": policy.max_attempts if policy else None,
+            "point_timeout_s": point_timeout_s,
+            "fault_specs": ([f"{s.kind}:{s.probability}:{s.max_fires}"
+                             for s in self.resilience.injector.specs]
+                            if self.resilience.injector else []),
+        }
+        self.config_hash = config_hash(self._campaign_config)
+
+    @property
+    def seed(self) -> int | None:
+        """The campaign's determinism seed (from the retry policy)."""
+        policy = self.resilience.retry_policy
+        return policy.seed if policy is not None else None
+
+    def _manifest(self, records: dict[str, PointRecord],
+                  ledger: list[LedgerEntry],
+                  wall_time_s: float) -> dict:
+        totals = {"ok": 0, "infeasible": 0, "failed": 0, "degraded": 0}
+        for r in records.values():
+            totals[r.status] = totals.get(r.status, 0) + 1
+            if r.degraded:
+                totals["degraded"] += 1
+        return build_manifest(
+            name="campaign",
+            config=self._campaign_config,
+            seed=self.seed,
+            metrics=get_registry().snapshot(),
+            wall_time_s=wall_time_s,
+            extra={"point_totals": totals,
+                   "ledger_entries": len(ledger)},
+        )
 
     # -- checkpoint I/O -----------------------------------------------------
 
@@ -394,7 +456,8 @@ class CampaignRunner:
         return records, ledger
 
     def _write_checkpoint(self, records: dict[str, PointRecord],
-                          ledger: list[LedgerEntry]) -> None:
+                          ledger: list[LedgerEntry],
+                          manifest: dict | None = None) -> None:
         path = self.checkpoint_path
         if path is None:
             return
@@ -403,6 +466,8 @@ class CampaignRunner:
             "points": {k: r.to_dict() for k, r in records.items()},
             "ledger": [e.to_dict() for e in ledger],
         }
+        if manifest is not None:
+            payload["manifest"] = manifest
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent),
                                    prefix=path.name, suffix=".tmp")
@@ -414,6 +479,15 @@ class CampaignRunner:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        if manifest is not None:
+            write_manifest(manifest, self.manifest_path())
+
+    def manifest_path(self) -> Path | None:
+        """Where the sibling manifest lives (None without a checkpoint)."""
+        if self.checkpoint_path is None:
+            return None
+        return self.checkpoint_path.with_name(
+            self.checkpoint_path.name + ".manifest.json")
 
     # -- execution ----------------------------------------------------------
 
@@ -443,41 +517,61 @@ class CampaignRunner:
                 ledger entries are replaced); ``resume=False`` starts
                 from scratch and overwrites the checkpoint.
         """
+        t0 = time.perf_counter()
         records: dict[str, PointRecord] = {}
         ledger: list[LedgerEntry] = []
         if resume:
             records, ledger = self._load_checkpoint()
         evaluated = 0
         skipped = 0
-        for point in self.points:
-            prior = records.get(point.key)
-            if prior is not None and prior.finished:
-                skipped += 1
-                continue
-            if prior is not None:          # re-attempting a failure
-                ledger = [e for e in ledger if e.key != point.key]
-            evaluated += 1
-            try:
-                record = self._evaluate_with_timeout(point)
-            except InfeasibleError as exc:
-                record = PointRecord(point=point, status="infeasible",
-                                     errors=(str(exc),), attempts=1)
-            except (ReproError, ArithmeticError) as exc:
-                ledger.append(LedgerEntry(
-                    key=point.key,
-                    point=point,
-                    exception=type(exc).__name__,
-                    message=str(exc),
-                    attempts=getattr(exc, "_ladder_attempts", 1),
-                    rungs_tried=getattr(exc, "_ladder_rungs",
-                                        ("sparse-lu",)),
-                    allow_degraded=self.resilience.allow_degraded,
-                ))
-                record = PointRecord(point=point, status="failed",
-                                     errors=(f"{type(exc).__name__}: "
-                                             f"{exc}",))
-            records[point.key] = record
-            self._write_checkpoint(records, ledger)
+        with span("campaign.run", n_points=len(self.points),
+                  config_hash=self.config_hash):
+            for point in self.points:
+                prior = records.get(point.key)
+                if prior is not None and prior.finished:
+                    skipped += 1
+                    counter("campaign.points_skipped").inc()
+                    continue
+                if prior is not None:          # re-attempting a failure
+                    ledger = [e for e in ledger if e.key != point.key]
+                evaluated += 1
+                try:
+                    with span("campaign.point", key=point.key,
+                              kind=point.kind):
+                        record = self._evaluate_with_timeout(point)
+                except InfeasibleError as exc:
+                    record = PointRecord(point=point, status="infeasible",
+                                         errors=(str(exc),), attempts=1)
+                except (ReproError, ArithmeticError) as exc:
+                    ledger.append(LedgerEntry(
+                        key=point.key,
+                        point=point,
+                        exception=type(exc).__name__,
+                        message=str(exc),
+                        attempts=getattr(exc, "_ladder_attempts", 1),
+                        rungs_tried=getattr(exc, "_ladder_rungs",
+                                            ("sparse-lu",)),
+                        allow_degraded=self.resilience.allow_degraded,
+                        config_hash=self.config_hash,
+                    ))
+                    record = PointRecord(point=point, status="failed",
+                                         errors=(f"{type(exc).__name__}: "
+                                                 f"{exc}",))
+                records[point.key] = record
+                counter(f"campaign.points_{record.status}").inc()
+                if record.degraded:
+                    counter("campaign.points_degraded").inc()
+                log_event("campaign_point", key=point.key,
+                          status=record.status, rung=record.rung,
+                          degraded=record.degraded,
+                          attempts=record.attempts)
+                self._write_checkpoint(
+                    records, ledger,
+                    self._manifest(records, ledger,
+                                   time.perf_counter() - t0))
+        manifest = self._manifest(records, ledger,
+                                  time.perf_counter() - t0)
         return CampaignResult(records=records, ledger=tuple(ledger),
                               evaluated=evaluated, skipped=skipped,
-                              checkpoint_path=self.checkpoint_path)
+                              checkpoint_path=self.checkpoint_path,
+                              manifest=manifest)

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 from ..cooling.options import get_cooling
 from ..errors import InfeasibleError
+from ..obs import span
 from ..perfsim.analytic import AnalyticModel
 from ..perfsim.npb import NPB_ORDER, get_profile
 from ..perfsim.system import SystemConfig, config_for_stack
@@ -123,26 +124,35 @@ def run_npb_comparison(chip_name: str, n_chips: int, *,
     that fails outright becomes an infeasible outcome tagged
     ``rung="failed"`` instead of aborting the comparison.
     """
-    chip = get_chip(chip_name)
-    config: SystemConfig = config_for_stack(chip, n_chips)
-    nthreads = threads if threads is not None else config.total_cores
-    perf = AnalyticModel(config, threads=nthreads)
+    with span("power.system_config", chip=chip_name, n_chips=n_chips):
+        chip = get_chip(chip_name)
+        config: SystemConfig = config_for_stack(chip, n_chips)
+        nthreads = threads if threads is not None else config.total_cores
+        perf = AnalyticModel(config, threads=nthreads)
 
     outcomes = []
     for cooling in coolings:
         if resilience is not None:
-            outcome = _resilient_outcome(chip_name, n_chips, cooling,
-                                         params, perf, resilience)
+            with span("cosim.cooling_option", cooling=cooling,
+                      resilient=True):
+                outcome = _resilient_outcome(chip_name, n_chips, cooling,
+                                             params, perf, resilience)
             outcomes.append(outcome)
             continue
-        model = model_for(chip_name, n_chips, cooling, params=params)
-        point = max_frequency(model)
-        times: dict[str, float] = {}
-        if point.feasible:
-            times = {
-                name: perf.execution_time_s(get_profile(name), point.f_hz)
-                for name in NPB_ORDER
-            }
+        with span("cosim.cooling_option", cooling=cooling):
+            with span("thermal.max_frequency", cooling=cooling):
+                model = model_for(chip_name, n_chips, cooling,
+                                  params=params)
+                point = max_frequency(model)
+            times: dict[str, float] = {}
+            if point.feasible:
+                with span("perf.npb_times", cooling=cooling,
+                          f_ghz=point.f_ghz):
+                    times = {
+                        name: perf.execution_time_s(get_profile(name),
+                                                    point.f_hz)
+                        for name in NPB_ORDER
+                    }
         outcomes.append(CoolingOutcome(cooling=cooling, point=point,
                                        npb_time_s=times))
     return NpbComparison(
@@ -177,10 +187,11 @@ def _resilient_outcome(chip_name: str, n_chips: int, cooling: str,
     point: OperatingPoint = o.value
     times: dict[str, float] = {}
     if point.feasible:
-        times = {
-            name: perf.execution_time_s(get_profile(name), point.f_hz)
-            for name in NPB_ORDER
-        }
+        with span("perf.npb_times", cooling=cooling, f_ghz=point.f_ghz):
+            times = {
+                name: perf.execution_time_s(get_profile(name), point.f_hz)
+                for name in NPB_ORDER
+            }
     return CoolingOutcome(cooling=cooling, point=point, npb_time_s=times,
                           rung=o.rung, degraded=o.degraded,
                           attempts=o.attempts)

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..cooling.options import CoolingOption, get_cooling
+from ..obs import span
 from ..power.processors import get_chip
 from ..stack.chipstack import StackConfig, flip_even_layers
 from ..thermal.coolants import custom_coolant
@@ -95,14 +96,18 @@ def frequency_vs_chips(chip_name: str, chips: tuple[int, ...],
             chip_name, chips, coolings, threshold_c=threshold_c,
             params=params, resilience=resilience)
     out = []
-    for cooling in coolings:
-        freqs = []
-        for n in chips:
-            model = model_for(chip_name, n, cooling, params=params)
-            p = max_frequency(model, threshold_c)
-            freqs.append(p.f_ghz if p.feasible else 0.0)
-        out.append(FrequencySeries(cooling=cooling, chips=tuple(chips),
-                                   f_ghz=tuple(freqs)))
+    with span("sweep.frequency_vs_chips", chip=chip_name,
+              n_points=len(chips) * len(coolings)):
+        for cooling in coolings:
+            freqs = []
+            for n in chips:
+                with span("thermal.max_frequency", cooling=cooling,
+                          n_chips=n):
+                    model = model_for(chip_name, n, cooling, params=params)
+                    p = max_frequency(model, threshold_c)
+                freqs.append(p.f_ghz if p.feasible else 0.0)
+            out.append(FrequencySeries(cooling=cooling, chips=tuple(chips),
+                                       f_ghz=tuple(freqs)))
     return tuple(out)
 
 
@@ -119,9 +124,11 @@ def _frequency_vs_chips_resilient(chip_name, chips, coolings, *,
                 chip_name, n, cooling, threshold_c=threshold_c,
                 params=params, injector=resilience.injector))
             try:
-                o = ladder.run(retry_policy=resilience.retry_policy,
-                               sleep=resilience.sleep,
-                               allow_degraded=resilience.allow_degraded)
+                with span("thermal.max_frequency", cooling=cooling,
+                          n_chips=n, resilient=True):
+                    o = ladder.run(retry_policy=resilience.retry_policy,
+                                   sleep=resilience.sleep,
+                                   allow_degraded=resilience.allow_degraded)
             except ReproError:
                 freqs.append(0.0)
                 degraded.append(False)

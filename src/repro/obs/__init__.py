@@ -1,0 +1,79 @@
+"""repro.obs — zero-dependency observability for the cosim pipeline.
+
+Three parts, all process-wide singletons shared by every instrumented
+module (import-cycle-free: ``repro.obs`` imports nothing from the
+pipeline packages):
+
+* :mod:`repro.obs.trace` — hierarchical span tracer (context-manager
+  API, thread-safe, monotonic clock) exporting JSONL and Chrome
+  ``trace_event`` JSON for ``about:tracing``/Perfetto;
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed timing
+  histograms behind a named-instrument registry;
+* :mod:`repro.obs.manifest` — run manifests (seed, config hash,
+  version, platform, wall time, metrics snapshot) with a dependency-
+  free schema validator.
+
+The tracer is disabled by default and its disabled path is a measured
+near-no-op; metrics are always on (an increment is an int add). The
+CLI surfaces everything via global ``--trace-out``, ``--metrics-out``,
+and ``-v`` flags. See ``docs/observability.md`` for the API guide and
+the instrument-name catalogue.
+"""
+
+from __future__ import annotations
+
+from .manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    build_manifest,
+    config_hash,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    log_spaced_edges,
+)
+from .slog import get_verbosity, log_event, set_verbosity
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    span,
+    spans_from_chrome,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "build_manifest",
+    "config_hash",
+    "counter",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "get_verbosity",
+    "histogram",
+    "log_event",
+    "log_spaced_edges",
+    "set_verbosity",
+    "span",
+    "spans_from_chrome",
+    "validate_manifest",
+    "write_manifest",
+]

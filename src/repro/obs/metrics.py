@@ -1,0 +1,282 @@
+"""Metrics registry: counters, gauges, log-bucketed timing histograms.
+
+Instruments are named with the ``subsystem.measure`` convention and
+live in a process-wide :class:`MetricsRegistry` (the instrument-name
+catalogue is documented in ``docs/observability.md``). Unlike the
+tracer, instruments are *always on*: a counter increment is a dict hit
+plus an integer add under a per-instrument lock, cheap enough for the
+solver hot path, and the snapshot is what run manifests embed.
+
+Histograms use fixed log-spaced bucket edges (default four per decade
+from 1 µs to 100 s — the dynamic range of everything this pipeline
+times, from a single triangular solve to a full campaign), so two runs
+of different lengths produce directly comparable distributions.
+
+::
+
+    from repro.obs import counter, histogram
+
+    counter("thermal.splu_factorizations").inc()
+    histogram("thermal.solve_seconds").observe(dt)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from bisect import bisect_left
+from typing import IO, Any
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "log_spaced_edges",
+]
+
+
+def log_spaced_edges(lo_exp: int = -6, hi_exp: int = 2,
+                     per_decade: int = 4) -> tuple[float, ...]:
+    """Fixed log-spaced bucket upper edges, ``10**lo_exp .. 10**hi_exp``.
+
+    Args:
+        lo_exp / hi_exp: decade exponents of the first and last edge.
+        per_decade: edges per decade (4 → edges at 1, 1.78, 3.16, 5.62
+            per decade).
+    """
+    if hi_exp <= lo_exp:
+        raise ConfigurationError("hi_exp must exceed lo_exp")
+    if per_decade < 1:
+        raise ConfigurationError("per_decade must be >= 1")
+    n = (hi_exp - lo_exp) * per_decade
+    return tuple(10.0 ** (lo_exp + i / per_decade) for i in range(n + 1))
+
+
+#: Default timing-histogram edges: 1 µs .. 100 s, four per decade.
+DEFAULT_EDGES = log_spaced_edges()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0)."""
+        if n < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def snapshot(self) -> int:
+        """Value for the registry snapshot."""
+        return self._value
+
+
+class Gauge:
+    """Last-written value (e.g. the current degradation rung)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the new value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def snapshot(self) -> float:
+        """Value for the registry snapshot."""
+        return self._value
+
+
+class Histogram:
+    """Distribution over fixed log-spaced buckets.
+
+    Bucket ``i`` counts observations ``v`` with
+    ``edges[i-1] < v <= edges[i]`` (the first bucket is
+    ``v <= edges[0]``); one overflow bucket catches ``v > edges[-1]``,
+    so ``len(bucket_counts) == len(edges) + 1`` and every observation
+    lands somewhere.
+    """
+
+    __slots__ = ("name", "edges", "_lock", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str,
+                 edges: tuple[float, ...] = DEFAULT_EDGES) -> None:
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ConfigurationError(
+                f"histogram {name!r} needs strictly increasing edges")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        v = float(value)
+        idx = bisect_left(self.edges, v)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket counts (last entry = overflow)."""
+        return tuple(self._counts)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict form for the registry snapshot."""
+        with self._lock:
+            return {
+                "edges": list(self.edges),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Asking for an existing name returns the existing instrument;
+    asking for it as a *different* instrument type raises
+    :class:`~repro.errors.ConfigurationError` (a name must mean one
+    thing for the run manifest to make sense).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = self._instruments[name] = factory()
+        if not isinstance(inst, cls):
+            raise ConfigurationError(
+                f"instrument {name!r} already exists as "
+                f"{type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  edges: tuple[float, ...] | None = None) -> Histogram:
+        """Get or create a histogram (default log-spaced edges)."""
+        e = DEFAULT_EDGES if edges is None else tuple(edges)
+        return self._get(name, Histogram, lambda: Histogram(name, e))
+
+    def names(self) -> tuple[str, ...]:
+        """All registered instrument names, sorted."""
+        return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything, grouped by instrument type."""
+        out: dict[str, Any] = {"counters": {}, "gauges": {},
+                               "histograms": {}}
+        for name in self.names():
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.snapshot()
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.snapshot()
+            else:
+                out["histograms"][name] = inst.snapshot()
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh campaigns)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def write_json(self, target: str | os.PathLike | IO[str]) -> None:
+        """Write the snapshot as a JSON document."""
+        doc = json.dumps(self.snapshot(), indent=1, sort_keys=True)
+        if hasattr(target, "write"):
+            target.write(doc)
+        else:
+            with open(target, "w") as fh:
+                fh.write(doc)
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented module shares."""
+    return _GLOBAL_REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Get or create a counter on the global registry."""
+    return _GLOBAL_REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create a gauge on the global registry."""
+    return _GLOBAL_REGISTRY.gauge(name)
+
+
+def histogram(name: str,
+              edges: tuple[float, ...] | None = None) -> Histogram:
+    """Get or create a histogram on the global registry."""
+    return _GLOBAL_REGISTRY.histogram(name, edges)

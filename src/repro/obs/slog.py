@@ -1,0 +1,44 @@
+"""Structured stderr logging (the CLI's ``-v/--verbose`` channel).
+
+One JSON object per line on stderr, so a verbose campaign can be piped
+through ``jq`` while the human-readable tables stay on stdout. The
+module keeps a single process-wide verbosity level; ``log_event`` is a
+no-op below level 1, and level 2 additionally streams every finished
+tracer span (wired up by the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, IO
+
+__all__ = ["get_verbosity", "log_event", "set_verbosity"]
+
+_VERBOSITY = 0
+_STREAM: IO[str] | None = None      # None = current sys.stderr
+
+
+def set_verbosity(level: int, stream: IO[str] | None = None) -> None:
+    """Set the process-wide verbosity (0 = silent)."""
+    global _VERBOSITY, _STREAM
+    _VERBOSITY = int(level)
+    _STREAM = stream
+
+
+def get_verbosity() -> int:
+    """Current verbosity level."""
+    return _VERBOSITY
+
+
+def log_event(event: str, *, level: int = 1, **fields: Any) -> None:
+    """Emit one structured record when verbosity reaches ``level``."""
+    if _VERBOSITY < level:
+        return
+    record: dict[str, Any] = {"t": round(time.time(), 3), "event": event}
+    for k, v in fields.items():
+        record[k] = v if isinstance(
+            v, (str, int, float, bool, type(None))) else str(v)
+    stream = _STREAM if _STREAM is not None else sys.stderr
+    print(json.dumps(record, default=str), file=stream)

@@ -1,0 +1,335 @@
+"""Hierarchical span tracer (monotonic clock, thread-safe, exportable).
+
+A *span* is one timed region of the pipeline — a factorization, a
+solve, a campaign point — opened with the context-manager API::
+
+    from repro.obs import span
+
+    with span("thermal.solve", layer_count=7) as sp:
+        ...
+        sp.set("max_temp_c", t)
+
+Spans nest: each thread keeps its own stack, so a span opened while
+another is active records that span as its parent and the exported
+trace reconstructs the full call tree, including spans from worker
+threads (which simply start new roots in their own thread).
+
+Timing uses the monotonic ``time.perf_counter_ns`` clock, so spans are
+immune to wall-clock adjustments. Finished spans accumulate on the
+:class:`Tracer` and export two ways:
+
+* **JSONL** (:meth:`Tracer.write_jsonl`) — one span object per line,
+  grep/jq-friendly;
+* **Chrome trace-event JSON** (:meth:`Tracer.write_chrome_trace`) —
+  ``{"traceEvents": [...]}`` with complete (``"ph": "X"``) events,
+  loadable directly in ``about:tracing`` or https://ui.perfetto.dev.
+
+The disabled path is a measured near-no-op: :meth:`Tracer.span` on a
+disabled tracer returns a shared null context manager without
+allocating a span or touching the clock, so instrumented hot paths cost
+one attribute check per call (pinned by the overhead smoke test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import IO, Any, Callable
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "spans_from_chrome",
+]
+
+
+class Span:
+    """One finished (or in-flight) timed region.
+
+    Attributes:
+        name: dotted instrument-style span name (``thermal.solve``).
+        span_id: unique id within the tracer (1-based).
+        parent_id: enclosing span's id, or None for a root.
+        start_ns / end_ns: monotonic ``perf_counter_ns`` stamps
+            (``end_ns`` is None while the span is open).
+        attrs: free-form attributes attached at open or via :meth:`set`.
+        thread_id / thread_name: the opening thread.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "start_ns", "end_ns",
+                 "attrs", "thread_id", "thread_name")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 start_ns: int, attrs: dict[str, Any],
+                 thread_id: int, thread_name: str) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: int | None = None
+        self.attrs = attrs
+        self.thread_id = thread_id
+        self.thread_name = thread_name
+
+    @property
+    def duration_s(self) -> float:
+        """Span duration in seconds (0.0 while still open)."""
+        if self.end_ns is None:
+            return 0.0
+        return (self.end_ns - self.start_ns) / 1e9
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (the JSONL record)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_s": self.duration_s,
+            "thread_id": self.thread_id,
+            "thread_name": self.thread_name,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanHandle:
+    """Context manager guarding one open span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", sp: Span) -> None:
+        self._tracer = tracer
+        self.span = sp
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the underlying span."""
+        self.span.set(key, value)
+
+    @property
+    def duration_s(self) -> float:
+        """Duration of the underlying span (after exit)."""
+        return self.span.duration_s
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self.span)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        """No-op."""
+
+    @property
+    def duration_s(self) -> float:
+        """Always 0.0 (nothing was timed)."""
+        return 0.0
+
+
+#: The singleton every disabled ``span()`` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans; disabled by default.
+
+    Args:
+        enabled: start collecting immediately.
+        on_close: optional callback invoked with every finished
+            :class:`Span` (the verbose CLI mode uses this to stream
+            span records to stderr).
+    """
+
+    def __init__(self, *, enabled: bool = False,
+                 on_close: Callable[[Span], None] | None = None) -> None:
+        self.enabled = enabled
+        self.on_close = on_close
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._next_id = 1
+
+    # -- collection ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; returns a context manager.
+
+        On a disabled tracer this returns :data:`NULL_SPAN` without
+        allocating anything.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        parent_id = stack[-1].span_id if stack else None
+        t = threading.current_thread()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        sp = Span(name=name, span_id=span_id, parent_id=parent_id,
+                  start_ns=time.perf_counter_ns(), attrs=attrs,
+                  thread_id=t.ident or 0, thread_name=t.name)
+        stack.append(sp)
+        return _SpanHandle(self, sp)
+
+    def _finish(self, sp: Span) -> None:
+        sp.end_ns = time.perf_counter_ns()
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is sp:
+            stack.pop()
+        elif stack and sp in stack:      # mis-nested exit; stay consistent
+            stack.remove(sp)
+        with self._lock:
+            self._finished.append(sp)
+        if self.on_close is not None:
+            self.on_close(sp)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Every finished span so far, in completion order."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def enable(self) -> None:
+        """Start collecting spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting spans (already-finished spans are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all finished spans and restart ids."""
+        with self._lock:
+            self._finished.clear()
+            self._next_id = 1
+
+    # -- export --------------------------------------------------------------
+
+    def span_dicts(self) -> list[dict[str, Any]]:
+        """All finished spans as plain dicts."""
+        return [sp.to_dict() for sp in self.spans]
+
+    def write_jsonl(self, target: str | os.PathLike | IO[str]) -> None:
+        """Write one span JSON object per line."""
+        lines = [json.dumps(d, sort_keys=True, default=str)
+                 for d in self.span_dicts()]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if hasattr(target, "write"):
+            target.write(text)
+        else:
+            with open(target, "w") as fh:
+                fh.write(text)
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The Chrome ``trace_event`` document (complete events)."""
+        pid = os.getpid()
+        events = []
+        for sp in self.spans:
+            end_ns = sp.end_ns if sp.end_ns is not None else sp.start_ns
+            args = {k: _jsonable(v) for k, v in sp.attrs.items()}
+            args["span_id"] = sp.span_id
+            if sp.parent_id is not None:
+                args["parent_id"] = sp.parent_id
+            events.append({
+                "name": sp.name,
+                "cat": sp.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": sp.start_ns / 1e3,      # microseconds
+                "dur": (end_ns - sp.start_ns) / 1e3,
+                "pid": pid,
+                "tid": sp.thread_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, target: str | os.PathLike | IO[str]) -> None:
+        """Write the ``about:tracing``/Perfetto-loadable JSON document."""
+        doc = json.dumps(self.chrome_trace(), sort_keys=True)
+        if hasattr(target, "write"):
+            target.write(doc)
+        else:
+            with open(target, "w") as fh:
+                fh.write(doc)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def spans_from_chrome(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    """Reconstruct span records from a Chrome trace document.
+
+    The inverse of :meth:`Tracer.chrome_trace` up to clock units —
+    ``start_ns``/``end_ns`` come back from the microsecond ``ts``/
+    ``dur`` fields, and ids/parents from ``args``. Used by the export
+    round-trip test and by external tooling that prefers the JSONL
+    shape.
+    """
+    out = []
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        start_ns = int(round(ev["ts"] * 1e3))
+        out.append({
+            "name": ev["name"],
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start_ns": start_ns,
+            "end_ns": start_ns + int(round(ev["dur"] * 1e3)),
+            "thread_id": ev.get("tid"),
+            "attrs": args,
+        })
+    return out
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every instrumented module shares."""
+    return _GLOBAL_TRACER
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global tracer (no-op while it is disabled)."""
+    tracer = _GLOBAL_TRACER
+    if not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ...errors import SimulationError
+from ...obs import counter, span
 from .router import DEFAULT_ROUTER, RouterParams
 
 
@@ -106,6 +107,8 @@ class FlitLink:
                 # cycle it is sent (the packet model's convention).
                 head.done_cycle = self._cycle
                 self.delivered.append(q.pop(0))
+                counter("noc.flits_routed").inc(head.flits)
+                counter("noc.packets_delivered").inc()
             self._rr = (vc + 1) % self.params.num_vcs
             break
         self._cycle += 1
@@ -133,7 +136,8 @@ class FlitLink:
 def zero_load_flit_latency(flits: int,
                            params: RouterParams = DEFAULT_ROUTER) -> int:
     """Reference single-hop latency measured on the flit model."""
-    link = FlitLink(params=params)
-    pid = link.inject(vc=0, flits=flits, cycle=0)
-    link.run_until_drained()
-    return link.latency_of(pid)
+    with span("noc.flit_latency", flits=flits):
+        link = FlitLink(params=params)
+        pid = link.inject(vc=0, flits=flits, cycle=0)
+        link.run_until_drained()
+        return link.latency_of(pid)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigurationError, DegradedResultWarning
+from ..obs import counter, gauge, log_event, span
 from .faults import FaultInjector, FaultyThermalModel, drop_vfs_steps
 from .retry import RetryPolicy, classify_error, with_retry
 
@@ -86,7 +87,8 @@ class DegradationLadder:
         last = len(self.rungs) - 1
         for idx, (name, fn) in enumerate(self.rungs):
             try:
-                out = with_retry(fn, policy=policy, sleep=sleep)
+                with span("resilience.rung", rung=name, rung_index=idx):
+                    out = with_retry(fn, policy=policy, sleep=sleep)
             except BaseException as exc:
                 kind = classify_error(exc)
                 attempts += (policy.max_attempts if kind == "retry" else 1)
@@ -102,6 +104,10 @@ class DegradationLadder:
             attempts += out.attempts
             degraded = idx > 0
             if degraded:
+                counter("resilience.degrade_rung").inc()
+                gauge("resilience.last_degrade_rung").set(idx)
+                log_event("degraded", rung=name, rung_index=idx,
+                          absorbed=len(absorbed))
                 warnings.warn(DegradedResultWarning(
                     f"rung {name!r} (index {idx}) supplied the result "
                     f"after: {'; '.join(absorbed)}"

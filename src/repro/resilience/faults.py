@@ -32,6 +32,7 @@ from ..errors import (
     SingularNetworkError,
     TransientSolverError,
 )
+from ..obs import counter, log_event
 
 #: Recognized fault kinds and the site each one perturbs.
 FAULT_KINDS: dict[str, str] = {
@@ -170,6 +171,9 @@ class FaultInjector:
         if chosen is not None:
             self._events.append(FaultEvent(site=site, kind=chosen.kind,
                                            visit=visit))
+            counter("resilience.faults_injected").inc()
+            log_event("fault_injected", site=site, kind=chosen.kind,
+                      visit=visit)
         return chosen
 
     def vfs_rng(self) -> random.Random:

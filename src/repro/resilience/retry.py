@@ -26,6 +26,7 @@ from ..errors import (
     TransientSolverError,
     VFSRangeError,
 )
+from ..obs import counter, log_event
 
 #: Exception classes the default policy retries.
 RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (TransientSolverError,)
@@ -151,6 +152,9 @@ def with_retry(fn: Callable[[], Any], *,
         except BaseException as exc:
             if classify(exc) != "retry" or attempt == policy.max_attempts:
                 raise
+            counter("resilience.retries").inc()
+            log_event("retry", attempt=attempt,
+                      error=type(exc).__name__, message=str(exc))
             errors.append(f"{type(exc).__name__}: {exc}")
             delay = schedule[attempt - 1]
             if delay > 0:

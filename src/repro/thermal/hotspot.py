@@ -8,11 +8,14 @@ optimizer and the sweep drivers hold onto.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import TYPE_CHECKING
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 import numpy as np
 
+from ..errors import ConfigurationError
+from ..obs import counter, span
 from ..stack.chipstack import StackConfig
 from .network import ThermalNetwork, ThermalResult
 from .package import (
@@ -57,7 +60,9 @@ class ThermalModel:
 
     def power_maps(self, f_hz: float) -> dict[str, np.ndarray]:
         """Per-die power maps at a VFS step (worst-case activity)."""
-        return stack_power_maps(self.stack, f_hz, self.params)
+        with span("power.stack_maps", f_ghz=f_hz / 1e9,
+                  n_chips=self.stack.n_chips):
+            return stack_power_maps(self.stack, f_hz, self.params)
 
     def result(self, f_hz: float) -> ThermalResult:
         """Full solution at a VFS step (cached per frequency)."""
@@ -94,15 +99,101 @@ class ThermalModel:
         return self.max_temperature_c(f_hz) <= limit + 1e-9
 
 
-@lru_cache(maxsize=128)
-def _cached_model(chip_name: str, n_chips: int, rotations: tuple[bool, ...],
-                  cooling_name: str, params: PackageParams) -> ThermalModel:
-    from ..cooling.options import get_cooling
-    from ..power.processors import get_chip
-    from ..stack.chipstack import StackConfig
-    stack = StackConfig(chip=get_chip(chip_name), n_chips=n_chips,
-                        rotations=rotations)
-    return ThermalModel(stack, get_cooling(cooling_name), params)
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-style statistics for the model cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    maxsize: int
+    currsize: int
+
+
+class ModelCache:
+    """Bounded, thread-safe LRU of built (factorized) thermal models.
+
+    Replaces the old unbounded-in-practice ``functools.lru_cache``: the
+    capacity is explicit and adjustable, and every hit, miss, and
+    eviction is both kept locally (:meth:`cache_info`) and exported
+    through the metrics registry as ``thermal.model_cache_hit`` /
+    ``_miss`` / ``_eviction``, so a sweep's memory behaviour is visible
+    without a debugger.
+
+    Args:
+        capacity: maximum number of resident models (>= 1). Each entry
+            holds a sparse LU factorization, so the bound is a real
+            memory bound, not bookkeeping.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ConfigurationError("model cache capacity must be >= 1")
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple, ThermalModel]" = OrderedDict()
+        self._capacity = capacity
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident models."""
+        return self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Change the bound, evicting LRU entries if now over it."""
+        if capacity < 1:
+            raise ConfigurationError("model cache capacity must be >= 1")
+        with self._lock:
+            self._capacity = capacity
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+            counter("thermal.model_cache_eviction").inc()
+
+    def get_or_build(self, key: tuple,
+                     factory: Callable[[], ThermalModel]) -> ThermalModel:
+        """Return the cached model for ``key``, building it on a miss."""
+        with self._lock:
+            model = self._entries.get(key)
+            if model is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                counter("thermal.model_cache_hit").inc()
+                return model
+            self._misses += 1
+            counter("thermal.model_cache_miss").inc()
+            model = factory()
+            self._entries[key] = model
+            self._evict_over_capacity()
+            return model
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction counts and occupancy."""
+        with self._lock:
+            return CacheInfo(hits=self._hits, misses=self._misses,
+                             evictions=self._evictions,
+                             maxsize=self._capacity,
+                             currsize=len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_MODEL_CACHE = ModelCache()
+
+
+def model_cache() -> ModelCache:
+    """The process-wide model cache behind :func:`model_for`."""
+    return _MODEL_CACHE
 
 
 def model_for(chip_name: str, n_chips: int, cooling_name: str,
@@ -111,6 +202,16 @@ def model_for(chip_name: str, n_chips: int, cooling_name: str,
     """Memoized model lookup for library chips and cooling options.
 
     Sweeps over (chips x coolants x stack heights) revisit configurations
-    constantly; the cache keeps each factorization alive.
+    constantly; the cache keeps each factorization alive (bounded LRU —
+    see :class:`ModelCache` for capacity control and statistics).
     """
-    return _cached_model(chip_name, n_chips, rotations, cooling_name, params)
+    key = (chip_name, n_chips, tuple(rotations), cooling_name, params)
+
+    def build() -> ThermalModel:
+        from ..cooling.options import get_cooling
+        from ..power.processors import get_chip
+        stack = StackConfig(chip=get_chip(chip_name), n_chips=n_chips,
+                            rotations=tuple(rotations))
+        return ThermalModel(stack, get_cooling(cooling_name), params)
+
+    return _MODEL_CACHE.get_or_build(key, build)

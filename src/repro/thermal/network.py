@@ -18,11 +18,14 @@ directly.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
 from ..errors import SingularNetworkError, ThermalModelError
+from ..obs import counter, histogram, span
 from .layers import Boundary, GridLayer, Interface, overlap_matrix
 
 
@@ -217,6 +220,14 @@ class ThermalNetwork:
         return g, g_t
 
     def _factorize(self) -> None:
+        t0 = time.perf_counter()
+        with span("thermal.factorize", nodes=self._n):
+            self._factorize_inner()
+        counter("thermal.splu_factorizations").inc()
+        histogram("thermal.factorize_seconds").observe(
+            time.perf_counter() - t0)
+
+    def _factorize_inner(self) -> None:
         rows: list = []
         cols: list = []
         vals: list = []
@@ -266,10 +277,14 @@ class ThermalNetwork:
         Returns:
             A :class:`ThermalResult` with Celsius fields per layer.
         """
-        if self._lu is None:
-            self._factorize()
-        rhs = self._rhs_vector(power_w)
-        t = self._lu.solve(rhs)
+        t0 = time.perf_counter()
+        with span("thermal.solve", nodes=self._n):
+            if self._lu is None:
+                self._factorize()
+            rhs = self._rhs_vector(power_w)
+            t = self._lu.solve(rhs)
+        counter("thermal.solves").inc()
+        histogram("thermal.solve_seconds").observe(time.perf_counter() - t0)
         fields: dict[str, np.ndarray] = {}
         for la in self.layers:
             off = self._offsets[la.name]
