@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Measure the campaign-engine performance trajectory -> BENCH_parallel.json.
+
+Times the same frequency-grid campaign (the Figs. 7/8 families) through
+each execution strategy the engine stacked up, oldest first:
+
+* ``serial_seed``   — the pre-engine baseline: legacy serial loop,
+  probe-at-a-time bisection, a fresh model per point;
+* ``batched``       — legacy serial loop with multi-RHS batched ladder
+  probes (:meth:`ThermalNetwork.solve_many`);
+* ``workers_N``     — the parallel engine at N processes (batched
+  probes + the shared bounded model cache), for each requested N.
+
+It also verifies the engine's core guarantee — the ``--workers 2``
+checkpoint is byte-identical to the serial one once the (timestamped)
+manifest is stripped — and records the outcome in the JSON.
+
+Wall-clock speedups from extra workers obviously require extra cores;
+``cpu_count`` is recorded so a 1-core container's numbers are not
+mistaken for a regression.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_to_json.py \
+        [--out BENCH_parallel.json] [--workers 2 4] [--max-chips 15] \
+        [--grids fig07 fig08] [--repeat 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import freqopt                       # noqa: E402
+from repro.core.campaign import (                    # noqa: E402
+    CampaignRunner,
+    frequency_grid,
+)
+from repro.thermal.hotspot import model_cache        # noqa: E402
+
+PAPER_COOLS = ("air", "water_pipe", "mineral_oil", "fluorinert", "water")
+GRIDS = {
+    "fig07": "low-power-cmp",
+    "fig08": "high-frequency-cmp",
+}
+
+
+def _strip_manifest(path: Path) -> str:
+    """Checkpoint text with the timestamped manifest removed."""
+    data = json.loads(path.read_text())
+    data.pop("manifest", None)
+    return json.dumps(data, sort_keys=False)
+
+
+def _run_campaign(points, *, workers, probe_batch, tmpdir) -> Path:
+    """One full campaign from scratch; returns its checkpoint path."""
+    model_cache().clear()
+    checkpoint = Path(tmpdir) / f"cp_w{workers}_b{probe_batch}.json"
+    if checkpoint.exists():
+        checkpoint.unlink()
+    prior = freqopt.DEFAULT_PROBE_BATCH
+    freqopt.DEFAULT_PROBE_BATCH = probe_batch
+    try:
+        CampaignRunner(points, checkpoint_path=checkpoint,
+                       workers=workers).run(resume=False)
+    finally:
+        freqopt.DEFAULT_PROBE_BATCH = prior
+    return checkpoint
+
+
+def _time_mode(points, *, workers, probe_batch, tmpdir,
+               repeat: int) -> tuple[float, Path]:
+    best = float("inf")
+    checkpoint = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        checkpoint = _run_campaign(points, workers=workers,
+                                   probe_batch=probe_batch, tmpdir=tmpdir)
+        best = min(best, time.perf_counter() - t0)
+    return best, checkpoint
+
+
+def bench_grid(grid: str, chip: str, max_chips: int,
+               workers_list: list[int], repeat: int) -> dict:
+    """The full mode trajectory for one figure grid."""
+    points = frequency_grid(chip, tuple(range(1, max_chips + 1)),
+                            PAPER_COOLS)
+    modes: dict[str, float] = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        modes["serial_seed"], serial_cp = _time_mode(
+            points, workers=None, probe_batch=1, tmpdir=tmpdir,
+            repeat=repeat)
+        modes["batched"], _ = _time_mode(
+            points, workers=None,
+            probe_batch=freqopt.DEFAULT_PROBE_BATCH, tmpdir=tmpdir,
+            repeat=repeat)
+        identical = None
+        for n in workers_list:
+            modes[f"workers_{n}"], cp = _time_mode(
+                points, workers=n,
+                probe_batch=freqopt.DEFAULT_PROBE_BATCH, tmpdir=tmpdir,
+                repeat=repeat)
+            if identical is None:
+                identical = (_strip_manifest(cp)
+                             == _strip_manifest(serial_cp))
+    base = modes["serial_seed"]
+    return {
+        "chip": chip,
+        "points": len(points),
+        "seconds": {k: round(v, 4) for k, v in modes.items()},
+        "speedup_vs_serial_seed": (
+            {k: round(base / v, 3) for k, v in modes.items()}
+            if base > 0 else {}),
+        "checkpoint_identical_to_serial": identical,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_parallel.json")
+    ap.add_argument("--workers", type=int, nargs="*", default=[2])
+    ap.add_argument("--max-chips", type=int, default=15)
+    ap.add_argument("--grids", nargs="*", default=list(GRIDS),
+                    choices=list(GRIDS))
+    ap.add_argument("--repeat", type=int, default=1,
+                    help="timed runs per mode (the minimum is kept)")
+    args = ap.parse_args(argv)
+
+    out = {
+        "bench": "parallel_campaign",
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "grids": {},
+    }
+    for grid in args.grids:
+        out["grids"][grid] = bench_grid(
+            grid, GRIDS[grid], args.max_chips, args.workers, args.repeat)
+        g = out["grids"][grid]
+        print(f"{grid} ({g['chip']}, {g['points']} points): "
+              + ", ".join(f"{k}={v:.3f}s"
+                          for k, v in g["seconds"].items())
+              + f", checkpoint identical: "
+                f"{g['checkpoint_identical_to_serial']}")
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    ok = all(g["checkpoint_identical_to_serial"]
+             for g in out["grids"].values())
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

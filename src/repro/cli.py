@@ -51,7 +51,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     chips = tuple(range(1, args.max_chips + 1))
     cools = tuple(args.cooling) if args.cooling else (
         "air", "water_pipe", "mineral_oil", "fluorinert", "water")
-    series = frequency_vs_chips(args.chip, chips, cools)
+    series = frequency_vs_chips(args.chip, chips, cools,
+                                workers=args.workers)
     rows = []
     for i, n in enumerate(chips):
         rows.append([n] + [s.f_ghz[i] if s.f_ghz[i] > 0 else None
@@ -183,7 +184,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     runner = CampaignRunner(points, resilience=options,
                             checkpoint_path=args.checkpoint,
-                            point_timeout_s=args.timeout)
+                            point_timeout_s=args.timeout,
+                            workers=args.workers,
+                            chunk_size=args.chunk_size)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DegradedResultWarning)
         result = runner.run(resume=args.resume)
@@ -264,6 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_chip(p, default="low-power-cmp")
     p.add_argument("--max-chips", type=int, default=15)
     p.add_argument("--cooling", nargs="*", default=None)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="evaluate sweep points over N worker processes "
+                        "(default: in-process serial; results are "
+                        "identical either way)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("npb", help="NPB relative execution times")
@@ -330,6 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "'singular:0.5' 'timeout:0.3:2'")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for fault injection and retry jitter")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="run the campaign on the parallel engine with "
+                        "N worker processes (N=1 runs the engine "
+                        "inline); records, checkpoints, and ledgers "
+                        "are identical at every worker count")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="K",
+                   help="points per scheduled chunk; the checkpoint is "
+                        "rewritten after each chunk (default: auto)")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("robustness",

@@ -27,6 +27,7 @@ import json
 import os
 import tempfile
 import time
+from collections import Counter as _KeyCounter
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -291,16 +292,21 @@ class CampaignResult:
 
 def evaluate_point(point: CampaignPoint,
                    resilience: ResilienceOptions,
-                   params: PackageParams = DEFAULT_PACKAGE) -> PointRecord:
+                   params: PackageParams = DEFAULT_PACKAGE, *,
+                   share_models: bool = False) -> PointRecord:
     """Evaluate one grid point through the degradation ladder.
 
     This is the default evaluator; :class:`CampaignRunner` accepts any
     callable with this signature (tests substitute counting wrappers).
+    ``share_models`` routes the sparse-LU rung through the bounded
+    :class:`~repro.thermal.hotspot.ModelCache` so repeated geometries
+    reuse their factorization (see :func:`~repro.resilience.degrade.
+    freq_point_rungs`); results are identical either way.
     """
     ladder = DegradationLadder(freq_point_rungs(
         point.chip, point.n_chips, point.cooling,
         threshold_c=point.threshold_c, params=params,
-        injector=resilience.injector))
+        injector=resilience.injector, share_models=share_models))
     with span("thermal.ladder", key=point.key):
         outcome = ladder.run(retry_policy=resilience.retry_policy,
                              sleep=resilience.sleep,
@@ -355,6 +361,158 @@ def evaluate_point(point: CampaignPoint,
     )
 
 
+def _evaluate_point_shared(point: CampaignPoint,
+                           resilience: ResilienceOptions,
+                           params: PackageParams = DEFAULT_PACKAGE
+                           ) -> PointRecord:
+    """:func:`evaluate_point` with the model cache on (module-level so
+    pool workers can pickle it)."""
+    return evaluate_point(point, resilience, params, share_models=True)
+
+
+class _PointTimeout:
+    """Per-point wall-clock budgets through one reusable worker thread.
+
+    The runner used to build a fresh single-thread executor for every
+    point; this keeps one alive for the whole run. A timed-out
+    evaluation cannot be killed — its thread keeps running — so on
+    timeout the executor is abandoned (shutdown *without* waiting, the
+    old per-point version blocked on the stuck thread) and lazily
+    replaced, keeping later points from queueing behind it.
+    """
+
+    def __init__(self, timeout_s: float | None) -> None:
+        self.timeout_s = timeout_s
+        self._pool = None
+
+    def call(self, fn: Callable, *args):
+        """Run ``fn(*args)``, bounding how long we wait for it."""
+        if self.timeout_s is None:
+            return fn(*args)
+        from concurrent.futures import ThreadPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=1)
+        fut = self._pool.submit(fn, *args)
+        try:
+            return fut.result(timeout=self.timeout_s)
+        except FutureTimeout:
+            fut.cancel()
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=False, cancel_futures=True)
+            counter("campaign.point_timeouts").inc()
+            raise TransientSolverError(
+                f"evaluation exceeded its {self.timeout_s:g} s budget"
+            ) from None
+
+    def close(self) -> None:
+        """Release the worker thread (no-op when never used)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+def _evaluate_guarded(point: CampaignPoint,
+                      resilience: ResilienceOptions,
+                      params: PackageParams,
+                      evaluator: Callable,
+                      timeout: _PointTimeout,
+                      config_hash: str
+                      ) -> tuple[PointRecord, LedgerEntry | None]:
+    """One point, end to end: evaluate, classify, record.
+
+    The single source of truth for how an evaluation outcome maps to a
+    (:class:`PointRecord`, optional :class:`LedgerEntry`) pair — the
+    serial loop and every pool worker go through here, which is what
+    makes parallel and serial checkpoints byte-identical.
+    """
+    try:
+        with span("campaign.point", key=point.key, kind=point.kind):
+            record = timeout.call(evaluator, point, resilience, params)
+    except InfeasibleError as exc:
+        return PointRecord(point=point, status="infeasible",
+                           errors=(str(exc),), attempts=1), None
+    except (ReproError, ArithmeticError) as exc:
+        entry = LedgerEntry(
+            key=point.key,
+            point=point,
+            exception=type(exc).__name__,
+            message=str(exc),
+            attempts=getattr(exc, "_ladder_attempts", 1),
+            rungs_tried=getattr(exc, "_ladder_rungs", ("sparse-lu",)),
+            allow_degraded=resilience.allow_degraded,
+            config_hash=config_hash,
+        )
+        record = PointRecord(point=point, status="failed",
+                             errors=(f"{type(exc).__name__}: {exc}",))
+        return record, entry
+    return record, None
+
+
+@dataclass(frozen=True)
+class _WorkerPayload:
+    """Everything a pool worker needs to evaluate campaign points.
+
+    Rebuilt per process (the ``sleep`` callable and shared injector of
+    :class:`~repro.resilience.ResilienceOptions` cannot cross a pickle
+    boundary): per-point injectors are derived in the worker from
+    ``fault_seed`` and the point key, so the stream a point sees does
+    not depend on scheduling.
+    """
+
+    evaluator: Callable
+    retry_policy: object
+    allow_degraded: bool
+    fault_specs: tuple
+    fault_seed: int | None       # None = no injector configured
+    fault_enabled: bool
+    params: PackageParams
+    point_timeout_s: float | None
+    config_hash: str
+    sleep: Callable[[float], None] | None = None
+
+
+def _point_resilience(payload: _WorkerPayload,
+                      point: CampaignPoint) -> ResilienceOptions:
+    """Per-point resilience options with a derived injector stream."""
+    injector = None
+    if payload.fault_seed is not None:
+        from ..parallel import derive_seed
+        from ..resilience import FaultInjector
+        injector = FaultInjector(
+            payload.fault_specs,
+            seed=derive_seed(payload.fault_seed, point.key),
+            enabled=payload.fault_enabled)
+    return ResilienceOptions(retry_policy=payload.retry_policy,
+                             allow_degraded=payload.allow_degraded,
+                             injector=injector,
+                             sleep=payload.sleep)
+
+
+_PROCESS_TIMEOUT: _PointTimeout | None = None
+
+
+def _process_timeout(timeout_s: float | None) -> _PointTimeout:
+    """The process-wide timeout runner for pool workers."""
+    global _PROCESS_TIMEOUT
+    if (_PROCESS_TIMEOUT is None
+            or _PROCESS_TIMEOUT.timeout_s != timeout_s):
+        if _PROCESS_TIMEOUT is not None:
+            _PROCESS_TIMEOUT.close()
+        _PROCESS_TIMEOUT = _PointTimeout(timeout_s)
+    return _PROCESS_TIMEOUT
+
+
+def _eval_point_task(payload: _WorkerPayload, point: CampaignPoint
+                     ) -> tuple[PointRecord, LedgerEntry | None]:
+    """The pool task: one guarded point evaluation (module-level for
+    pickling)."""
+    return _evaluate_guarded(
+        point, _point_resilience(payload, point), payload.params,
+        payload.evaluator, _process_timeout(payload.point_timeout_s),
+        payload.config_hash)
+
+
 class CampaignRunner:
     """Execute a grid of points with checkpointing and a failure ledger.
 
@@ -369,7 +527,35 @@ class CampaignRunner:
             retryable :class:`~repro.errors.TransientSolverError`
             failure (the thread itself cannot be killed; the budget
             bounds how long the campaign *waits*, not the solver).
-        evaluator: override for the per-point evaluation (tests).
+        evaluator: override for the per-point evaluation (tests). Must
+            be picklable (module-level) when ``workers`` is set.
+        workers: None = the legacy in-process loop (shared injector
+            state, checkpoint after every point). An int >= 1 selects
+            the :mod:`repro.parallel` engine: per-point injector
+            streams derived from (seed, point key), chunked scheduling,
+            checkpoint after every chunk — and identical results,
+            checkpoints, and ledgers at every worker count. Note the
+            stream split changes fault *budget* scope: ``max_fires``
+            caps fires per point on the engine path, but across the
+            whole campaign (in visit order) on the legacy path — a
+            global budget is order-dependent and cannot survive
+            parallel scheduling.
+        chunk_size: points per scheduled chunk (None = auto).
+        share_models: route the default evaluator's sparse-LU rung
+            through the bounded :class:`~repro.thermal.hotspot.
+            ModelCache` so points revisiting one geometry (retries,
+            mixed freq+npb grids) reuse the factorization. None (the
+            default) enables it exactly when the parallel engine is
+            selected (``workers`` set); the legacy serial path keeps
+            its deliberate fresh-build behaviour. Results are identical
+            either way — only ``thermal.model_cache_*`` counters and
+            wall-clock change. Ignored for custom evaluators.
+
+    The campaign config hash deliberately excludes ``workers``,
+    ``chunk_size``, and ``share_models``: execution strategy changes
+    how fast the answer arrives, not what it is, and ledger entries
+    from a 4-worker re-run must tie to the same manifest as the serial
+    original.
     """
 
     def __init__(self, points: tuple[CampaignPoint, ...] |
@@ -380,23 +566,37 @@ class CampaignRunner:
                  point_timeout_s: float | None = None,
                  evaluator: Callable[[CampaignPoint, ResilienceOptions,
                                       PackageParams],
-                                     PointRecord] | None = None) -> None:
+                                     PointRecord] | None = None,
+                 workers: int | None = None,
+                 chunk_size: int | None = None,
+                 share_models: bool | None = None) -> None:
         if not points:
             raise ConfigurationError("a campaign needs at least one point")
+        if workers is not None and workers < 1:
+            raise ConfigurationError("workers must be >= 1 or None")
         keys = [p.key for p in points]
-        if len(set(keys)) != len(keys):
-            dupes = sorted({k for k in keys if keys.count(k) > 1})
+        counts = _KeyCounter(keys)
+        if len(counts) != len(keys):
+            dupes = sorted(k for k, c in counts.items() if c > 1)
             raise ConfigurationError(
                 f"duplicate campaign points: {', '.join(dupes)}")
         self.points = tuple(points)
+        self.workers = workers
+        self.chunk_size = chunk_size
         self.resilience = (resilience if resilience is not None
                            else ResilienceOptions())
         self.checkpoint_path = (Path(checkpoint_path)
                                 if checkpoint_path is not None else None)
         self.params = params
         self.point_timeout_s = point_timeout_s
-        self.evaluator = evaluator if evaluator is not None \
-            else evaluate_point
+        self.share_models = (share_models if share_models is not None
+                             else workers is not None)
+        if evaluator is not None:
+            self.evaluator = evaluator
+        elif self.share_models:
+            self.evaluator = _evaluate_point_shared
+        else:
+            self.evaluator = evaluate_point
         policy = self.resilience.retry_policy
         self._campaign_config = {
             "points": sorted(keys),
@@ -491,22 +691,14 @@ class CampaignRunner:
 
     # -- execution ----------------------------------------------------------
 
-    def _evaluate_with_timeout(self, point: CampaignPoint) -> PointRecord:
-        if self.point_timeout_s is None:
-            return self.evaluator(point, self.resilience, self.params)
-        from concurrent.futures import ThreadPoolExecutor
-        from concurrent.futures import TimeoutError as FutureTimeout
-        with ThreadPoolExecutor(max_workers=1) as pool:
-            fut = pool.submit(self.evaluator, point, self.resilience,
-                              self.params)
-            try:
-                return fut.result(timeout=self.point_timeout_s)
-            except FutureTimeout:
-                fut.cancel()
-                raise TransientSolverError(
-                    f"point {point.key} exceeded its "
-                    f"{self.point_timeout_s:g} s budget"
-                ) from None
+    def _note_record(self, record: PointRecord) -> None:
+        counter(f"campaign.points_{record.status}").inc()
+        if record.degraded:
+            counter("campaign.points_degraded").inc()
+        log_event("campaign_point", key=record.point.key,
+                  status=record.status, rung=record.rung,
+                  degraded=record.degraded,
+                  attempts=record.attempts)
 
     def run(self, *, resume: bool = True) -> CampaignResult:
         """Execute every point not already finished in the checkpoint.
@@ -522,10 +714,30 @@ class CampaignRunner:
         ledger: list[LedgerEntry] = []
         if resume:
             records, ledger = self._load_checkpoint()
+        with span("campaign.run", n_points=len(self.points),
+                  config_hash=self.config_hash,
+                  workers=self.workers or 0):
+            if self.workers is None:
+                records, ledger, evaluated, skipped = \
+                    self._run_serial(records, ledger, t0)
+            else:
+                records, ledger, evaluated, skipped = \
+                    self._run_parallel(records, ledger, t0)
+        manifest = self._manifest(records, ledger,
+                                  time.perf_counter() - t0)
+        return CampaignResult(records=records, ledger=tuple(ledger),
+                              evaluated=evaluated, skipped=skipped,
+                              checkpoint_path=self.checkpoint_path,
+                              manifest=manifest)
+
+    def _run_serial(self, records: dict[str, PointRecord],
+                    ledger: list[LedgerEntry], t0: float):
+        """The legacy in-process loop: shared injector state, one
+        checkpoint rewrite per point, one hoisted timeout executor."""
         evaluated = 0
         skipped = 0
-        with span("campaign.run", n_points=len(self.points),
-                  config_hash=self.config_hash):
+        timeout = _PointTimeout(self.point_timeout_s)
+        try:
             for point in self.points:
                 prior = records.get(point.key)
                 if prior is not None and prior.finished:
@@ -535,43 +747,96 @@ class CampaignRunner:
                 if prior is not None:          # re-attempting a failure
                     ledger = [e for e in ledger if e.key != point.key]
                 evaluated += 1
-                try:
-                    with span("campaign.point", key=point.key,
-                              kind=point.kind):
-                        record = self._evaluate_with_timeout(point)
-                except InfeasibleError as exc:
-                    record = PointRecord(point=point, status="infeasible",
-                                         errors=(str(exc),), attempts=1)
-                except (ReproError, ArithmeticError) as exc:
-                    ledger.append(LedgerEntry(
-                        key=point.key,
-                        point=point,
-                        exception=type(exc).__name__,
-                        message=str(exc),
-                        attempts=getattr(exc, "_ladder_attempts", 1),
-                        rungs_tried=getattr(exc, "_ladder_rungs",
-                                            ("sparse-lu",)),
-                        allow_degraded=self.resilience.allow_degraded,
-                        config_hash=self.config_hash,
-                    ))
-                    record = PointRecord(point=point, status="failed",
-                                         errors=(f"{type(exc).__name__}: "
-                                                 f"{exc}",))
+                record, entry = _evaluate_guarded(
+                    point, self.resilience, self.params, self.evaluator,
+                    timeout, self.config_hash)
+                if entry is not None:
+                    ledger.append(entry)
                 records[point.key] = record
-                counter(f"campaign.points_{record.status}").inc()
-                if record.degraded:
-                    counter("campaign.points_degraded").inc()
-                log_event("campaign_point", key=point.key,
-                          status=record.status, rung=record.rung,
-                          degraded=record.degraded,
-                          attempts=record.attempts)
+                self._note_record(record)
                 self._write_checkpoint(
                     records, ledger,
                     self._manifest(records, ledger,
                                    time.perf_counter() - t0))
-        manifest = self._manifest(records, ledger,
-                                  time.perf_counter() - t0)
-        return CampaignResult(records=records, ledger=tuple(ledger),
-                              evaluated=evaluated, skipped=skipped,
-                              checkpoint_path=self.checkpoint_path,
-                              manifest=manifest)
+        finally:
+            timeout.close()
+        return records, ledger, evaluated, skipped
+
+    def _worker_payload(self, *, picklable: bool) -> _WorkerPayload:
+        injector = self.resilience.injector
+        return _WorkerPayload(
+            evaluator=self.evaluator,
+            retry_policy=self.resilience.retry_policy,
+            allow_degraded=self.resilience.allow_degraded,
+            fault_specs=injector.specs if injector is not None else (),
+            fault_seed=injector.seed if injector is not None else None,
+            fault_enabled=(injector.enabled if injector is not None
+                           else True),
+            params=self.params,
+            point_timeout_s=self.point_timeout_s,
+            config_hash=self.config_hash,
+            sleep=None if picklable else self.resilience.sleep,
+        )
+
+    def _run_parallel(self, loaded: dict[str, PointRecord],
+                      loaded_ledger: list[LedgerEntry], t0: float):
+        """The :mod:`repro.parallel` engine path.
+
+        Pending points are chunked over a process pool; per-point
+        injector streams are derived from (campaign seed, point key),
+        so every worker count produces the same records. The
+        checkpoint is rewritten after every completed *chunk*, rebuilt
+        each time in grid order from the accumulated results so the
+        bytes never depend on chunk completion order.
+        """
+        from ..parallel import ParallelConfig, run_chunked
+
+        pending = [(i, p) for i, p in enumerate(self.points)
+                   if not (loaded.get(p.key) is not None
+                           and loaded[p.key].finished)]
+        skipped = len(self.points) - len(pending)
+        if skipped:
+            counter("campaign.points_skipped").inc(skipped)
+        pending_keys = {p.key for _, p in pending}
+        kept_ledger = [e for e in loaded_ledger
+                       if e.key not in pending_keys]
+        computed: dict[int, tuple[PointRecord, LedgerEntry | None]] = {}
+
+        def assemble() -> tuple[dict[str, PointRecord],
+                                list[LedgerEntry]]:
+            records = dict(loaded)
+            ledger = list(kept_ledger)
+            for idx in sorted(computed):
+                record, entry = computed[idx]
+                records[record.point.key] = record
+                if entry is not None:
+                    ledger.append(entry)
+            return records, ledger
+
+        def on_chunk(done) -> None:
+            # run_chunked indexes into the pending list; keep the
+            # accumulator keyed by *grid* index so ledger entries land
+            # in grid order, matching the serial loop.
+            for pending_idx, (record, entry) in done:
+                computed[pending[pending_idx][0]] = (record, entry)
+                self._note_record(record)
+            records, ledger = assemble()
+            self._write_checkpoint(
+                records, ledger,
+                self._manifest(records, ledger,
+                               time.perf_counter() - t0))
+
+        config = ParallelConfig(workers=self.workers,
+                                chunk_size=self.chunk_size)
+        run_chunked([p for _, p in pending], _eval_point_task,
+                    self._worker_payload(picklable=self.workers > 1),
+                    config=config, on_chunk=on_chunk)
+        # run_chunked returns results positionally over *pending*; map
+        # them back to grid indices via the computed dict (already
+        # filled by on_chunk).
+        # on_chunk already folded every result into `computed` and
+        # checkpointed; assemble once more for the returned state (like
+        # the serial path, a fully-skipped run leaves the checkpoint
+        # file untouched).
+        records, ledger = assemble()
+        return records, ledger, len(pending), skipped

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..cooling.options import CoolingOption, get_cooling
+from ..errors import ConfigurationError
 from ..obs import span
 from ..power.processors import get_chip
 from ..stack.chipstack import StackConfig, flip_even_layers
@@ -77,11 +78,28 @@ class FrequencySeries:
         return best
 
 
+def _freq_point_task(payload, item) -> float:
+    """Pool task: one (cooling, n_chips) max-frequency point.
+
+    Module-level for pickling; workers inherit nothing but the payload,
+    so each process grows its own :class:`~repro.thermal.hotspot.
+    ModelCache` (factors cannot cross a pickle boundary — only results
+    come back).
+    """
+    chip_name, threshold_c, params = payload
+    cooling, n = item
+    with span("thermal.max_frequency", cooling=cooling, n_chips=n):
+        model = model_for(chip_name, n, cooling, params=params)
+        p = max_frequency(model, threshold_c)
+    return p.f_ghz if p.feasible else 0.0
+
+
 def frequency_vs_chips(chip_name: str, chips: tuple[int, ...],
                        coolings: tuple[str, ...],
                        *, threshold_c: float | None = None,
                        params: PackageParams = DEFAULT_PACKAGE,
-                       resilience: "ResilienceOptions | None" = None
+                       resilience: "ResilienceOptions | None" = None,
+                       workers: int | None = None
                        ) -> tuple[FrequencySeries, ...]:
     """Max frequency vs stack height for several cooling options.
 
@@ -90,24 +108,38 @@ def frequency_vs_chips(chip_name: str, chips: tuple[int, ...],
     fails can fall back to the analytic thermal model (when
     ``allow_degraded``), and a point that fails outright becomes a
     0.0 GHz entry tagged ``"failed"`` instead of aborting the sweep.
+
+    ``workers`` fans the independent (cooling, height) points over the
+    :mod:`repro.parallel` pool; the returned series are identical to a
+    serial run (the points share nothing). Resilient sweeps stay
+    serial — their injector/retry streams are a shared sequence by
+    design; use :class:`~repro.core.campaign.CampaignRunner` with
+    ``workers`` for parallel fault-tolerant grids.
     """
     if resilience is not None:
+        if workers is not None:
+            raise ConfigurationError(
+                "resilient sweeps are serial; use CampaignRunner("
+                "workers=...) for parallel fault-tolerant grids")
         return _frequency_vs_chips_resilient(
             chip_name, chips, coolings, threshold_c=threshold_c,
             params=params, resilience=resilience)
-    out = []
+    items = [(cooling, n) for cooling in coolings for n in chips]
     with span("sweep.frequency_vs_chips", chip=chip_name,
-              n_points=len(chips) * len(coolings)):
-        for cooling in coolings:
-            freqs = []
-            for n in chips:
-                with span("thermal.max_frequency", cooling=cooling,
-                          n_chips=n):
-                    model = model_for(chip_name, n, cooling, params=params)
-                    p = max_frequency(model, threshold_c)
-                freqs.append(p.f_ghz if p.feasible else 0.0)
-            out.append(FrequencySeries(cooling=cooling, chips=tuple(chips),
-                                       f_ghz=tuple(freqs)))
+              n_points=len(items), workers=workers or 0):
+        if workers is None:
+            freqs = [_freq_point_task((chip_name, threshold_c, params),
+                                      item) for item in items]
+        else:
+            from ..parallel import ParallelConfig, run_chunked
+            freqs = run_chunked(items, _freq_point_task,
+                                (chip_name, threshold_c, params),
+                                config=ParallelConfig(workers=workers))
+    out = []
+    for i, cooling in enumerate(coolings):
+        block = freqs[i * len(chips):(i + 1) * len(chips)]
+        out.append(FrequencySeries(cooling=cooling, chips=tuple(chips),
+                                   f_ghz=tuple(block)))
     return tuple(out)
 
 
@@ -152,30 +184,53 @@ class HSweepSeries:
     max_temp_c: tuple[float, ...]
 
 
+def _h_point_task(payload, h: float) -> float:
+    """Pool task: max stack temperature at one heat-transfer coefficient.
+
+    Each h changes the convection entries on G's boundary diagonal — a
+    *different matrix*, not a different right-hand side — so the h sweep
+    cannot ride one factorization the way a frequency ladder can
+    (:meth:`~repro.thermal.network.ThermalNetwork.solve_many`). The
+    parallel axis here is the independent factorizations themselves.
+    """
+    chip_name, n_chips, params = payload
+    chip = get_chip(chip_name)
+    stack = StackConfig(chip=chip, n_chips=n_chips)
+    coolant = custom_coolant(f"h={h:g}", h_w_m2k=float(h))
+    cooling = CoolingOption(
+        name=f"sweep-h{h:g}",
+        style="immersion",
+        primary_coolant=coolant,
+        board_coolant=coolant,
+    )
+    model = ThermalModel(stack, cooling, params)
+    return model.max_temperature_c(chip.ladder.f_max_hz)
+
+
 def temperature_vs_h(chip_name: str, h_values: tuple[float, ...],
                      *, n_chips: int = 4,
-                     params: PackageParams = DEFAULT_PACKAGE
+                     params: PackageParams = DEFAULT_PACKAGE,
+                     workers: int | None = None
                      ) -> HSweepSeries:
     """Maximum stack temperature vs coolant heat-transfer coefficient.
 
     Reproduces Fig. 14: a 4-chip stack at the chip's maximum frequency,
     fully immersed (no film — the sweep isolates the coolant itself),
-    with h swept across the air-to-beyond-water range.
+    with h swept across the air-to-beyond-water range. ``workers``
+    spreads the per-h factorizations over the :mod:`repro.parallel`
+    pool (see :func:`_h_point_task` for why they cannot share one).
     """
-    chip = get_chip(chip_name)
-    stack = StackConfig(chip=chip, n_chips=n_chips)
-    temps = []
-    for h in h_values:
-        coolant = custom_coolant(f"h={h:g}", h_w_m2k=float(h))
-        cooling = CoolingOption(
-            name=f"sweep-h{h:g}",
-            style="immersion",
-            primary_coolant=coolant,
-            board_coolant=coolant,
-        )
-        model = ThermalModel(stack, cooling, params)
-        temps.append(model.max_temperature_c(chip.ladder.f_max_hz))
-    return HSweepSeries(chip=chip_name, h_values=tuple(float(h) for h in h_values),
+    payload = (chip_name, n_chips, params)
+    hs = [float(h) for h in h_values]
+    with span("sweep.temperature_vs_h", chip=chip_name,
+              n_points=len(hs), workers=workers or 0):
+        if workers is None:
+            temps = [_h_point_task(payload, h) for h in hs]
+        else:
+            from ..parallel import ParallelConfig, run_chunked
+            temps = run_chunked(hs, _h_point_task, payload,
+                                config=ParallelConfig(workers=workers))
+    return HSweepSeries(chip=chip_name, h_values=tuple(hs),
                         max_temp_c=tuple(temps))
 
 
@@ -199,7 +254,9 @@ def temperature_vs_frequency(chip_name: str, cooling_name: str,
              else StackConfig(chip=chip, n_chips=n_chips))
     model = ThermalModel(stack, get_cooling(cooling_name), params)
     freqs = chip.ladder.frequencies()
-    temps = tuple(model.max_temperature_c(float(f)) for f in freqs)
+    # One multi-RHS block through the factorization instead of one
+    # triangular solve per ladder step.
+    temps = model.max_temperatures_many([float(f) for f in freqs])
     return FreqTempSeries(
         cooling=cooling_name,
         flipped=flipped,
@@ -218,6 +275,28 @@ def thermal_maps(chip_name: str, cooling_name: str, f_hz: float,
              else StackConfig(chip=chip, n_chips=n_chips))
     model = ThermalModel(stack, get_cooling(cooling_name), params)
     return model.die_temperature_fields(f_hz)
+
+
+def thermal_maps_many(chip_name: str, cooling_name: str,
+                      f_hz_seq, *, n_chips: int = 4,
+                      flipped: bool = False,
+                      params: PackageParams = DEFAULT_PACKAGE
+                      ) -> list[dict[str, np.ndarray]]:
+    """Per-die temperature fields at several VFS steps, batched.
+
+    One geometry, one factorization, one (n, k) multi-RHS solve
+    (:meth:`~repro.thermal.network.ThermalNetwork.solve_many`) instead
+    of k separate :func:`thermal_maps` calls that each rebuild and
+    refactor the same network. Returns one field dict per frequency,
+    in input order.
+    """
+    chip = get_chip(chip_name)
+    stack = (flip_even_layers(chip, n_chips) if flipped
+             else StackConfig(chip=chip, n_chips=n_chips))
+    model = ThermalModel(stack, get_cooling(cooling_name), params)
+    results = model.results_many([float(f) for f in f_hz_seq])
+    return [{name: res.layer(name) for name in model.die_names}
+            for res in results]
 
 
 def rotation_gain_c(chip_name: str, cooling_name: str, f_hz: float,

@@ -184,6 +184,31 @@ class Histogram:
                 "max": self._max if self._count else None,
             }
 
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one.
+
+        Both histograms must share bucket edges (true for every
+        instrument built on the default log-spaced edges); worker
+        processes ship their snapshots to the parent through this.
+        """
+        if tuple(float(e) for e in snap.get("edges", ())) != self.edges:
+            raise ConfigurationError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"different bucket edges")
+        counts = snap["counts"]
+        if len(counts) != len(self._counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r}: bucket count mismatch")
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._count += snap["count"]
+            self._sum += snap["sum"]
+            if snap.get("min") is not None:
+                self._min = min(self._min, snap["min"])
+            if snap.get("max") is not None:
+                self._max = max(self._max, snap["max"])
+
 
 class MetricsRegistry:
     """Named instruments, created on first use.
@@ -242,6 +267,25 @@ class MetricsRegistry:
             else:
                 out["histograms"][name] = inst.snapshot()
         return out
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold a snapshot from another registry into this one.
+
+        Counters add, histograms merge bucket-wise, gauges take the
+        incoming value (last write wins, matching their single-process
+        semantics). This is how the parallel campaign engine surfaces
+        worker-process instruments — each worker returns the *delta*
+        snapshot of its chunk (see :func:`repro.parallel.pool.
+        snapshot_delta`) and the parent folds it in, so the campaign
+        manifest's metrics cover worker-side solves too.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hsnap in snap.get("histograms", {}).items():
+            self.histogram(
+                name, tuple(hsnap["edges"])).merge_snapshot(hsnap)
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh campaigns)."""

@@ -1,0 +1,38 @@
+"""repro.parallel — process-pool execution for sweep/campaign grids.
+
+The paper's figures are grids of *independent* operating points; this
+package supplies the execution substrate that evaluates them in
+parallel without giving up the guarantees the rest of the system makes:
+
+* :mod:`repro.parallel.pool` — a chunked :class:`~concurrent.futures.
+  ProcessPoolExecutor` engine with deterministic result ordering,
+  per-chunk completion hooks (checkpoint granularity), and worker
+  metrics repatriated into the parent registry;
+* :mod:`repro.parallel.seeds` — SHA-256 seed derivation so every
+  point's RNG stream depends only on (campaign seed, point key), never
+  on which worker ran it or in what order.
+
+The invariant the test suite pins: a campaign run at ``--workers 1``,
+``2``, and ``4`` produces the identical :class:`~repro.core.campaign.
+CampaignResult`, checkpoint payload, config hash, and failure ledger.
+Execution strategy is deliberately excluded from the campaign config
+hash — *what* was computed does not depend on *how fast* it was.
+"""
+
+from __future__ import annotations
+
+from .pool import (
+    ParallelConfig,
+    chunk_indices,
+    run_chunked,
+    snapshot_delta,
+)
+from .seeds import derive_seed
+
+__all__ = [
+    "ParallelConfig",
+    "chunk_indices",
+    "derive_seed",
+    "run_chunked",
+    "snapshot_delta",
+]

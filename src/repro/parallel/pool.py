@@ -1,0 +1,240 @@
+"""Chunked process-pool execution with deterministic result ordering.
+
+The engine is deliberately generic: callers hand it a list of items, a
+module-level function ``fn(payload, item) -> result``, and a picklable
+payload; it returns one result per item *in item order*, however the
+chunks were scheduled. The campaign runner and the sweep drivers build
+their hot loops on it.
+
+Three properties the rest of the system relies on:
+
+* **Deterministic ordering** — results are collected by item index, so
+  a 4-worker run and a 1-worker run produce identical output lists
+  (any per-item randomness must come from seeds derived per item, see
+  :mod:`repro.parallel.seeds`).
+* **Chunked scheduling** — items are grouped into contiguous chunks;
+  ``on_chunk`` fires as each chunk completes, which is where the
+  campaign runner rewrites its checkpoint. Chunk size trades
+  scheduling overhead against checkpoint granularity.
+* **Worker metrics repatriation** — each chunk returns the delta of
+  the worker's metrics registry, and the parent folds it into its own
+  (:meth:`repro.obs.metrics.MetricsRegistry.merge_snapshot`), so
+  worker-side solver counters land in campaign manifests.
+
+``workers=1`` runs every chunk inline — no pool, no pickling — and is
+the reference the multi-worker paths are tested bit-for-bit against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigurationError
+from ..obs import counter, get_registry, histogram, log_event, span
+
+__all__ = [
+    "ParallelConfig",
+    "chunk_indices",
+    "run_chunked",
+    "snapshot_delta",
+]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a parallel run schedules its work.
+
+    Attributes:
+        workers: process count; 1 = inline (no pool).
+        chunk_size: items per scheduled chunk (None = auto: enough
+            chunks for ~4 rounds per worker, capped at 8 items so
+            checkpoints stay reasonably fresh).
+        start_method: multiprocessing start method (None = ``fork``
+            where available — cheap and inherits imports — else the
+            platform default).
+    """
+
+    workers: int = 1
+    chunk_size: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1 or None")
+
+    def resolve_chunk_size(self, n_items: int) -> int:
+        """The chunk size actually used for ``n_items`` items."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if n_items <= 0:
+            return 1
+        per_round = -(-n_items // (self.workers * 4))  # ceil
+        return max(1, min(8, per_round))
+
+    def context(self) -> multiprocessing.context.BaseContext:
+        """The multiprocessing context for the pool."""
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> list[range]:
+    """Contiguous index ranges covering ``0..n_items-1``."""
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    return [range(lo, min(lo + chunk_size, n_items))
+            for lo in range(0, n_items, chunk_size)]
+
+
+def snapshot_delta(before: dict[str, Any],
+                   after: dict[str, Any]) -> dict[str, Any]:
+    """The metrics accumulated between two registry snapshots.
+
+    Counters and histogram bucket counts subtract element-wise;
+    histogram min/max are forwarded only when the interval moved them
+    (a chunk that did not change the extremum cannot be blamed for
+    it). Gauges forward their latest value.
+    """
+    out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for name, value in after.get("counters", {}).items():
+        d = value - before.get("counters", {}).get(name, 0)
+        if d:
+            out["counters"][name] = d
+    out["gauges"] = dict(after.get("gauges", {}))
+    for name, h in after.get("histograms", {}).items():
+        prev = before.get("histograms", {}).get(name)
+        if prev is None:
+            out["histograms"][name] = h
+            continue
+        if h["count"] == prev["count"]:
+            continue
+        out["histograms"][name] = {
+            "edges": h["edges"],
+            "counts": [a - b for a, b in zip(h["counts"], prev["counts"])],
+            "count": h["count"] - prev["count"],
+            "sum": h["sum"] - prev["sum"],
+            "min": (h["min"] if prev["min"] is None
+                    or (h["min"] is not None and h["min"] < prev["min"])
+                    else None),
+            "max": (h["max"] if prev["max"] is None
+                    or (h["max"] is not None and h["max"] > prev["max"])
+                    else None),
+        }
+    return out
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_FN: Callable[[Any, Any], Any] | None = None
+_WORKER_PAYLOAD: Any = None
+
+
+def _init_worker(fn: Callable[[Any, Any], Any], payload: Any) -> None:
+    """Pool initializer: pin the task function and payload per process."""
+    global _WORKER_FN, _WORKER_PAYLOAD
+    _WORKER_FN = fn
+    _WORKER_PAYLOAD = payload
+
+
+def _run_chunk(chunk: list[tuple[int, Any]]
+               ) -> tuple[list[tuple[int, Any]], dict[str, Any], float]:
+    """Evaluate one chunk in a worker; returns results + metrics delta."""
+    assert _WORKER_FN is not None, "worker not initialized"
+    registry = get_registry()
+    before = registry.snapshot()
+    t0 = time.perf_counter()
+    results = [(idx, _WORKER_FN(_WORKER_PAYLOAD, item))
+               for idx, item in chunk]
+    wall = time.perf_counter() - t0
+    return results, snapshot_delta(before, registry.snapshot()), wall
+
+
+# -- parent side -------------------------------------------------------------
+
+def run_chunked(items: Sequence[Any],
+                fn: Callable[[Any, Any], Any],
+                payload: Any, *,
+                config: ParallelConfig | None = None,
+                on_chunk: Callable[[list[tuple[int, Any]]], None] | None
+                = None) -> list[Any]:
+    """Evaluate ``fn(payload, item)`` for every item, possibly in a pool.
+
+    Args:
+        items: the work list; results come back in this order.
+        fn: module-level (picklable) task function.
+        payload: shared picklable context handed to every call.
+        config: worker/chunking configuration (None = inline).
+        on_chunk: called after each chunk completes with its
+            ``[(index, result), ...]`` (in-chunk order). Chunks may
+            complete out of order under ``workers > 1``; callers
+            needing deterministic *aggregate* state must rebuild it
+            from accumulated results keyed by index (the campaign
+            runner rebuilds its checkpoint this way).
+
+    Returns:
+        ``[fn(payload, item) for item in items]`` — same values, any
+        scheduling.
+    """
+    cfg = config if config is not None else ParallelConfig()
+    n = len(items)
+    if n == 0:
+        return []
+    chunk_size = cfg.resolve_chunk_size(n)
+    chunks = [[(i, items[i]) for i in r]
+              for r in chunk_indices(n, chunk_size)]
+    results: dict[int, Any] = {}
+    with span("parallel.run", items=n, workers=cfg.workers,
+              chunks=len(chunks), chunk_size=chunk_size):
+        if cfg.workers == 1:
+            for chunk in chunks:
+                t0 = time.perf_counter()
+                done = [(idx, fn(payload, item)) for idx, item in chunk]
+                _note_chunk(done, time.perf_counter() - t0, inline=True)
+                results.update(done)
+                if on_chunk is not None:
+                    on_chunk(done)
+        else:
+            _run_pool(chunks, fn, payload, cfg, results, on_chunk)
+    return [results[i] for i in range(n)]
+
+
+def _note_chunk(done: list[tuple[int, Any]], wall: float, *,
+                inline: bool) -> None:
+    counter("parallel.chunks_completed").inc()
+    counter("parallel.items_completed").inc(len(done))
+    histogram("parallel.chunk_size").observe(len(done))
+    histogram("parallel.chunk_seconds").observe(wall)
+    log_event("parallel_chunk", items=len(done),
+              wall_ms=round(wall * 1e3, 3), inline=inline)
+
+
+def _run_pool(chunks, fn, payload, cfg: ParallelConfig,
+              results: dict[int, Any],
+              on_chunk) -> None:
+    registry = get_registry()
+    ctx = cfg.context()
+    with ProcessPoolExecutor(max_workers=cfg.workers,
+                             mp_context=ctx,
+                             initializer=_init_worker,
+                             initargs=(fn, payload)) as pool:
+        pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
+        while pending:
+            finished, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+            for fut in finished:
+                done, metrics_delta, wall = fut.result()
+                with span("parallel.chunk_merge", items=len(done)):
+                    registry.merge_snapshot(metrics_delta)
+                    _note_chunk(done, wall, inline=False)
+                    results.update(done)
+                    if on_chunk is not None:
+                        on_chunk(done)

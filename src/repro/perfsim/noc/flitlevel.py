@@ -58,6 +58,7 @@ class FlitLink:
         self._rr = 0
         self._cycle = 0
         self.delivered: list[_Packet] = []
+        self._delivered_by_pid: dict[int, _Packet] = {}
         self._next_pid = 0
 
     def inject(self, vc: int, flits: int, cycle: int) -> int:
@@ -107,6 +108,7 @@ class FlitLink:
                 # cycle it is sent (the packet model's convention).
                 head.done_cycle = self._cycle
                 self.delivered.append(q.pop(0))
+                self._delivered_by_pid[head.pid] = head
                 counter("noc.flits_routed").inc(head.flits)
                 counter("noc.packets_delivered").inc()
             self._rr = (vc + 1) % self.params.num_vcs
@@ -124,13 +126,16 @@ class FlitLink:
         )
 
     def latency_of(self, pid: int) -> int:
-        """Inject-to-tail latency of a delivered packet."""
-        for p in self.delivered:
-            if p.pid == pid:
-                if p.done_cycle is None:
-                    break
-                return p.done_cycle - p.inject_cycle
-        raise SimulationError(f"packet {pid} not delivered")
+        """Inject-to-tail latency of a delivered packet.
+
+        O(1) via the delivery index — validation sweeps query every
+        packet of a long run, which made a ``delivered`` scan
+        quadratic over the campaign.
+        """
+        p = self._delivered_by_pid.get(pid)
+        if p is None or p.done_cycle is None:
+            raise SimulationError(f"packet {pid} not delivered")
+        return p.done_cycle - p.inject_cycle
 
 
 def zero_load_flit_latency(flits: int,

@@ -73,6 +73,30 @@ class ThermalModel:
             self._result_cache[key] = cached
         return cached
 
+    def results_many(self, f_hz_seq) -> list[ThermalResult]:
+        """Full solutions at several VFS steps in one batched solve.
+
+        Frequencies already in the per-frequency cache are answered
+        from it; the misses are solved together through
+        :meth:`ThermalNetwork.solve_many` (one (n, k) triangular-solve
+        block against the cached factor) and cached for later scalar
+        queries, so a batched ladder probe and a point-by-point one
+        return identical objects.
+        """
+        keys = [round(float(f), 3) for f in f_hz_seq]
+        missing: list[tuple[float, float]] = []
+        seen: set[float] = set()
+        for f, key in zip(f_hz_seq, keys):
+            if key not in self._result_cache and key not in seen:
+                seen.add(key)
+                missing.append((float(f), key))
+        if missing:
+            solved = self.network.solve_many(
+                [self.power_maps(f) for f, _ in missing])
+            for (_, key), res in zip(missing, solved):
+                self._result_cache[key] = res
+        return [self._result_cache[key] for key in keys]
+
     def max_temperature_c(self, f_hz: float) -> float:
         """Hottest die-cell temperature at a VFS step, Celsius.
 
@@ -80,6 +104,17 @@ class ThermalModel:
         die layers are inspected (the heatsink is always cooler).
         """
         return self.result(f_hz).max_over(self._die_names)
+
+    def max_temperatures_many(self, f_hz_seq) -> tuple[float, ...]:
+        """Hottest die-cell temperature at each VFS step, batched.
+
+        The multi-RHS counterpart of :meth:`max_temperature_c`: the
+        frequency optimizer evaluates whole ladder brackets per probe
+        round through this method, and the ladder sweeps solve every
+        step of a figure in one call.
+        """
+        return tuple(res.max_over(self._die_names)
+                     for res in self.results_many(f_hz_seq))
 
     def die_temperature_fields(self, f_hz: float) -> dict[str, np.ndarray]:
         """Per-die (grid, grid) temperature fields — the Figs. 9/16/18 maps."""

@@ -177,9 +177,14 @@ class TestCampaignRuns:
         ck = tmp_path / "c.json"
         solves = []
         real_solve = ThermalNetwork.solve
+        real_solve_many = ThermalNetwork.solve_many
         monkeypatch.setattr(
             ThermalNetwork, "solve",
             lambda self, maps: solves.append(1) or real_solve(self, maps))
+        monkeypatch.setattr(
+            ThermalNetwork, "solve_many",
+            lambda self, seq: solves.append(1) or real_solve_many(self,
+                                                                  seq))
 
         first = CampaignRunner(self.grid(), resilience=options(),
                                checkpoint_path=ck,

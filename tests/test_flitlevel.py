@@ -84,3 +84,22 @@ class TestValidation:
         link.inject(vc=0, flits=5, cycle=0)
         with pytest.raises(SimulationError):
             link.run_until_drained(max_cycles=2)
+
+
+class TestDeliveryIndex:
+    def test_queued_but_undelivered_raises(self):
+        """A pid that exists but has not crossed yet is not delivered."""
+        link = FlitLink()
+        pid = link.inject(vc=0, flits=5, cycle=0)
+        with pytest.raises(SimulationError, match="not delivered"):
+            link.latency_of(pid)
+
+    def test_index_agrees_with_delivered_list(self):
+        """The O(1) pid index answers exactly like a delivered-list scan."""
+        link = FlitLink()
+        pids = [link.inject(vc=v % link.params.num_vcs, flits=3, cycle=0)
+                for v in range(8)]
+        link.run_until_drained()
+        by_scan = {p.pid: p.done_cycle - p.inject_cycle
+                   for p in link.delivered}
+        assert {pid: link.latency_of(pid) for pid in pids} == by_scan
