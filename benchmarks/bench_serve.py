@@ -1,0 +1,144 @@
+"""Serving-layer overhead and the guarantees the CI smoke rides on.
+
+Three timed units over :mod:`repro.serve`:
+
+* ``warm_batch`` — a mixed 200-request batch (16 unique specs, heavy
+  duplication) against a warm broker: measures pure serving overhead
+  (hashing, admission, cache lookups, job bookkeeping) since every
+  request answers from the result cache;
+* ``submit_wait_hit`` — one warm request end to end, the per-call
+  floor a client sees;
+* ``http_round_trip`` — the same warm request over the stdlib HTTP
+  endpoint (JSON encode, TCP, long-poll decode).
+
+The non-timed test drives the cold mixed load once and saves the
+serving-guarantee artifact: coalesced > 0, cache hits > 0, and exactly
+one computation per unique config hash. ``scripts/bench_to_json.py
+--bench serve`` measures the same load shape for the CI artifact
+trail (``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+from repro.config import ExperimentSpec
+from repro.serve import (
+    Broker,
+    BrokerConfig,
+    HttpServeClient,
+    ServeHTTPServer,
+    result_to_json,
+)
+
+FAST = {"die_grid": 8, "package_grid": 4}
+
+
+def unique_specs(n: int = 16) -> list[ExperimentSpec]:
+    """The bench's spec mix: n/2 stack heights x 2 coolants."""
+    return [ExperimentSpec(chip="low-power-cmp", n_chips=h,
+                           cooling=cool, package_overrides=dict(FAST),
+                           benchmarks=("ep",))
+            for h in range(1, n // 2 + 1) for cool in ("water", "air")]
+
+
+def warm_broker(specs) -> Broker:
+    """A broker whose result cache already holds every spec."""
+    broker = Broker(BrokerConfig(workers=2, max_queue=64))
+    for spec in specs:
+        broker.submit(spec)
+    assert broker.drain(timeout=600)
+    return broker
+
+
+def submit_batch(broker, sequence) -> None:
+    jobs = [broker.submit(spec) for spec in sequence]
+    for job in jobs:
+        job.wait(timeout=600)
+
+
+def test_serve_warm_batch(benchmark):
+    specs = unique_specs()
+    sequence = [specs[i % len(specs)] for i in range(200)]
+    broker = warm_broker(specs)
+    try:
+        benchmark(submit_batch, broker, sequence)
+        stats = broker.stats()
+        assert stats["cache"]["hits"] > 0
+        assert stats["failed_total"] == 0
+    finally:
+        broker.shutdown(drain=True)
+
+
+def test_serve_submit_wait_hit(benchmark):
+    specs = unique_specs(2)
+    broker = warm_broker(specs)
+    try:
+        result = benchmark(
+            lambda: broker.submit(specs[0]).wait(timeout=600))
+        assert result.result.feasible
+    finally:
+        broker.shutdown(drain=True)
+
+
+def test_serve_http_round_trip(benchmark):
+    specs = unique_specs(2)
+    broker = warm_broker(specs)
+    server = ServeHTTPServer(broker, port=0)
+    server.serve_in_thread()
+    client = HttpServeClient(server.url)
+    spec_dict = specs[0].to_dict()
+
+    def round_trip():
+        ack = client.submit(spec_dict)
+        return client.result(ack["job_id"], timeout_s=600)
+
+    try:
+        doc = benchmark(round_trip)
+        assert doc["http_status"] == 200
+        assert doc["result"]["feasible"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        broker.shutdown(drain=True)
+
+
+def test_serving_guarantees_under_mixed_load(save_artifact):
+    """The CI smoke assertions: coalesce, cache hits, exactly-once."""
+    from repro.obs import counter
+
+    specs = unique_specs()
+    sequence = [specs[i % len(specs)] for i in range(200)]
+    # serve.* counters are process-lifetime totals; measure this
+    # broker's contribution as deltas.
+    before = {name: counter(f"serve.{name}").value
+              for name in ("completed_total", "coalesced_total",
+                           "shed_total")}
+    broker = Broker(BrokerConfig(workers=2, max_queue=64))
+    try:
+        # Duplicate burst before anything can finish -> must coalesce.
+        jobs = [broker.submit(specs[0]) for _ in range(8)]
+        jobs += [broker.submit(spec) for spec in sequence]
+        for job in jobs:
+            job.wait(timeout=600)
+        served = jobs[-1].outcome.result
+        cache_hits = broker.cache.stats()["hits"]
+        delta = {name: counter(f"serve.{name}").value - v
+                 for name, v in before.items()}
+    finally:
+        broker.shutdown(drain=True)
+
+    identical = result_to_json(served) == result_to_json(
+        sequence[-1].run())
+    save_artifact(
+        "serve_guarantees",
+        f"mixed load, {len(jobs)} submissions over "
+        f"{len(specs)} unique specs: "
+        f"{delta['completed_total']} computed, "
+        f"{delta['coalesced_total']} coalesced, "
+        f"{cache_hits} cache hits, "
+        f"{delta['shed_total']} shed; "
+        f"served == direct API bytes: "
+        f"{'yes' if identical else 'NO'}")
+    assert delta["completed_total"] == len(specs)   # exactly once
+    assert delta["coalesced_total"] > 0
+    assert cache_hits > 0
+    assert identical

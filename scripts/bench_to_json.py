@@ -1,8 +1,9 @@
 #!/usr/bin/env python
-"""Measure the campaign-engine performance trajectory -> BENCH_parallel.json.
+"""Measure performance trajectories -> BENCH_parallel.json / BENCH_serve.json.
 
-Times the same frequency-grid campaign (the Figs. 7/8 families) through
-each execution strategy the engine stacked up, oldest first:
+``--bench parallel`` (the default) times the same frequency-grid
+campaign (the Figs. 7/8 families) through each execution strategy the
+engine stacked up, oldest first:
 
 * ``serial_seed``   — the pre-engine baseline: legacy serial loop,
   probe-at-a-time bisection, a fresh model per point;
@@ -15,6 +16,14 @@ It also verifies the engine's core guarantee — the ``--workers 2``
 checkpoint is byte-identical to the serial one once the (timestamped)
 manifest is stripped — and records the outcome in the JSON.
 
+``--bench serve`` drives the :mod:`repro.serve` broker with a mixed
+concurrent batch of requests containing many duplicates (the CI smoke
+load), and emits throughput, p50/p99 latency, and the hit / coalesce
+rates. It exits nonzero unless the serving guarantees held on this
+run: some requests coalesced, some hit the result cache, and each
+unique config hash was computed exactly once
+(``completed_total == unique_specs``).
+
 Wall-clock speedups from extra workers obviously require extra cores;
 ``cpu_count`` is recorded so a 1-core container's numbers are not
 mistaken for a regression.
@@ -24,6 +33,9 @@ Usage::
     PYTHONPATH=src python scripts/bench_to_json.py \
         [--out BENCH_parallel.json] [--workers 2 4] [--max-chips 15] \
         [--grids fig07 fig08] [--repeat 1]
+    PYTHONPATH=src python scripts/bench_to_json.py --bench serve \
+        [--out BENCH_serve.json] [--requests 200] [--unique 16] \
+        [--serve-workers 2] [--client-threads 8]
 """
 
 from __future__ import annotations
@@ -122,16 +134,169 @@ def bench_grid(grid: str, chip: str, max_chips: int,
     }
 
 
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1,
+              max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def bench_serve(args) -> dict:
+    """Drive the broker with a mixed duplicate-heavy concurrent load."""
+    import threading
+
+    from repro.config import ExperimentSpec
+    from repro.errors import OverloadedError
+    from repro.serve import Broker, BrokerConfig
+
+    fast = {"die_grid": 8, "package_grid": 4}
+    heights = range(1, max(1, args.unique // 2) + 1)
+    uniques = [ExperimentSpec(chip="low-power-cmp", n_chips=n,
+                              cooling=cool, package_overrides=fast,
+                              benchmarks=("ep",))
+               for n in heights for cool in ("water", "air")]
+    # Round-robin mix with heavy duplication; each closed-loop client
+    # walks a contiguous chunk, so the walks start at staggered offsets
+    # and overlap on in-flight specs (duplicates coalesce) while warm
+    # repeats hit the result cache.
+    sequence = [uniques[i % len(uniques)] for i in range(args.requests)]
+    chunk = (len(sequence) + args.client_threads - 1) \
+        // args.client_threads
+
+    broker = Broker(BrokerConfig(workers=args.serve_workers,
+                                 max_queue=args.max_queue))
+    latencies: list[float] = []
+    shed = [0]
+    lock = threading.Lock()
+
+    # Deterministic duplicate burst: back-to-back submissions of one
+    # cold spec attach to a single queued job before any can finish.
+    burst = [broker.submit(uniques[0]) for _ in range(8)]
+
+    def client(thread_idx: int) -> None:
+        lo = thread_idx * chunk
+        for i in range(lo, min(lo + chunk, len(sequence))):
+            t0 = time.perf_counter()
+            while True:
+                try:
+                    job = broker.submit(sequence[i])
+                    break
+                except OverloadedError:
+                    with lock:
+                        shed[0] += 1
+                    time.sleep(0.01)
+            job.wait(timeout=600)
+            dt = time.perf_counter() - t0
+            with lock:
+                latencies.append(dt)
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(t,))
+               for t in range(args.client_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for job in burst:
+        job.wait(timeout=600)
+    wall = time.perf_counter() - t0
+
+    # An int-vs-float duplicate submitted through the dict boundary
+    # must land on the same config hash — i.e. answer from the cache.
+    float_dup = dict(uniques[0].to_dict())
+    float_dup["n_chips"] = float(float_dup["n_chips"])
+    float_hit = broker.submit(float_dup).from_cache
+
+    manifest_path = Path(args.out).with_suffix(".manifest.json")
+    stats = broker.shutdown(drain=True, manifest_path=manifest_path)
+
+    latencies.sort()
+    exactly_once = stats["completed_total"] == len(uniques)
+    return {
+        "bench": "serve",
+        "cpu_count": os.cpu_count(),
+        "serve_workers": args.serve_workers,
+        "client_threads": args.client_threads,
+        "requests": args.requests,
+        "unique_specs": len(uniques),
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(args.requests / wall, 2) if wall else 0,
+        "latency_s": {
+            "p50": round(_percentile(latencies, 0.50), 5),
+            "p90": round(_percentile(latencies, 0.90), 5),
+            "p99": round(_percentile(latencies, 0.99), 5),
+            "max": round(latencies[-1], 5) if latencies else 0.0,
+        },
+        "counters": {
+            "requests_total": stats["requests_total"],
+            "completed_total": stats["completed_total"],
+            "coalesced_total": stats["coalesced_total"],
+            "shed_total": stats["shed_total"],
+            "degraded_total": stats["degraded_total"],
+            "client_retries_after_shed": shed[0],
+        },
+        "cache": stats["cache"],
+        "hit_rate": round(stats["cache"]["hits"]
+                          / max(1, stats["requests_total"]), 4),
+        "coalesce_rate": round(stats["coalesced_total"]
+                               / max(1, stats["requests_total"]), 4),
+        "exactly_one_computation_per_hash": exactly_once,
+        "float_int_duplicate_hit_cache": float_hit,
+        "manifest": str(manifest_path),
+    }
+
+
+def run_serve(args) -> int:
+    out = bench_serve(args)
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(f"serve: {out['requests']} requests "
+          f"({out['unique_specs']} unique) in {out['wall_s']}s -> "
+          f"{out['throughput_rps']} req/s, "
+          f"p50 {out['latency_s']['p50']}s, "
+          f"p99 {out['latency_s']['p99']}s, "
+          f"hit rate {out['hit_rate']}, "
+          f"coalesce rate {out['coalesce_rate']}")
+    print(f"wrote {args.out}")
+    ok = (out["counters"]["coalesced_total"] > 0
+          and out["cache"]["hits"] > 0
+          and out["exactly_one_computation_per_hash"]
+          and out["float_int_duplicate_hit_cache"])
+    if not ok:
+        print("serve bench FAILED its serving-guarantee assertions",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_parallel.json")
+    ap.add_argument("--bench", choices=("parallel", "serve"),
+                    default="parallel")
+    ap.add_argument("--out", default=None,
+                    help="output path (default BENCH_<bench>.json)")
     ap.add_argument("--workers", type=int, nargs="*", default=[2])
     ap.add_argument("--max-chips", type=int, default=15)
     ap.add_argument("--grids", nargs="*", default=list(GRIDS),
                     choices=list(GRIDS))
     ap.add_argument("--repeat", type=int, default=1,
                     help="timed runs per mode (the minimum is kept)")
+    ap.add_argument("--requests", type=int, default=200,
+                    help="serve: total submissions (duplicates included)")
+    ap.add_argument("--unique", type=int, default=16,
+                    help="serve: distinct specs in the mix")
+    ap.add_argument("--serve-workers", type=int, default=2,
+                    help="serve: broker dispatcher threads")
+    ap.add_argument("--client-threads", type=int, default=8,
+                    help="serve: concurrent submitting clients")
+    ap.add_argument("--max-queue", type=int, default=64,
+                    help="serve: broker admission bound")
     args = ap.parse_args(argv)
+    if args.out is None:
+        args.out = f"BENCH_{args.bench}.json"
+
+    if args.bench == "serve":
+        return run_serve(args)
 
     out = {
         "bench": "parallel_campaign",

@@ -11,6 +11,13 @@ Commands:
 * ``headline`` — the abstract's numbers, end to end.
 * ``campaign`` — resilient checkpointed sweep campaign (retry,
   graceful degradation, failure ledger, resume).
+* ``serve`` — HTTP request-serving endpoint (coalescing, result
+  cache, admission control; see ``docs/serving.md``).
+* ``submit`` — submit a JSON spec to a running ``repro serve``.
+
+Ctrl-C anywhere exits 130 after a clean wrap-up (campaigns keep their
+checkpoint; ``serve`` drains in-flight requests) instead of dumping a
+traceback.
 
 Every subcommand accepts the global observability flags (before *or*
 after the subcommand name):
@@ -125,7 +132,15 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     import json
 
     from .config import ExperimentSpec
-    spec = ExperimentSpec.from_dict(json.loads(args.json))
+    from .errors import ConfigurationError
+    try:
+        spec = ExperimentSpec.from_dict(json.loads(args.json))
+    except json.JSONDecodeError as exc:
+        print(f"error: spec is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     res = spec.run()
     if not res.feasible:
         print(f"infeasible (coolest achievable maximum "
@@ -216,6 +231,119 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"manifest: {runner.manifest_path()}")
     finished = s["ok"] + s["infeasible"]
     return 0 if finished > 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .resilience import ResilienceOptions, RetryPolicy
+    from .serve import Broker, BrokerConfig, ServeHTTPServer
+
+    config = BrokerConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_capacity=args.cache_capacity,
+        cache_ttl_s=args.cache_ttl,
+        use_processes=args.processes,
+        default_deadline_s=args.default_deadline,
+    )
+    options = ResilienceOptions(
+        retry_policy=RetryPolicy(max_attempts=args.max_retries + 1,
+                                 seed=args.seed),
+        allow_degraded=args.allow_degraded,
+    )
+    broker = Broker(config, resilience=options)
+    httpd = ServeHTTPServer(broker, args.host, args.port)
+    print(f"repro serve: listening on {httpd.url} "
+          f"(workers {config.workers}, queue bound {config.max_queue}, "
+          f"cache {config.cache_capacity}"
+          f"{f' ttl {config.cache_ttl_s:g}s' if config.cache_ttl_s else ''})",
+          flush=True)
+    rc = 0
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("\ninterrupted — draining in-flight requests",
+              file=sys.stderr)
+        rc = 130
+    finally:
+        httpd.server_close()
+        stats = broker.shutdown(drain=True,
+                                manifest_path=args.manifest,
+                                timeout=args.drain_timeout)
+        print(f"drained: {stats['completed_total']} completed, "
+              f"{stats['coalesced_total']} coalesced, "
+              f"{stats['cache']['hits']} cache hits, "
+              f"{stats['shed_total']} shed, "
+              f"{stats['failed_total']} failed", flush=True)
+        if args.manifest:
+            print(f"manifest: {args.manifest}")
+    return rc
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import OverloadedError, ServeError
+    from .serve.http import HttpServeClient
+
+    client = HttpServeClient(args.url, timeout_s=args.timeout + 10)
+    if args.shutdown:
+        if not client.healthz():
+            print(f"error: no server at {args.url}", file=sys.stderr)
+            return 1
+        client.shutdown()
+        print(f"shutdown requested at {args.url}")
+        return 0
+    if args.json is None:
+        print("error: provide a spec JSON (or --shutdown)",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = json.loads(args.json)
+    except json.JSONDecodeError as exc:
+        print(f"error: spec is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        sub = client.submit(spec, priority=args.priority,
+                            deadline_s=args.deadline)
+    except OverloadedError as exc:
+        d = exc.to_dict()
+        print(f"overloaded: server shed the request "
+              f"(queued {d['queued']}, in flight {d['in_flight']}, "
+              f"limit {d['limit']}) — back off and retry",
+              file=sys.stderr)
+        return 75  # EX_TEMPFAIL
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {sub['job_id']} "
+          f"({'coalesced' if sub['attached'] > 1 else sub['state']}"
+          f"{', cached' if sub.get('from_cache') else ''}), "
+          f"config hash {sub['config_hash'][:12]}")
+    if not args.wait:
+        return 0
+    doc = client.result(sub["job_id"], timeout_s=args.timeout)
+    if doc.get("http_status") != 200:
+        print(f"error: job {sub['job_id']} -> "
+              f"{doc.get('state', 'unknown')}: "
+              f"{doc.get('message', doc.get('error', 'pending'))}",
+              file=sys.stderr)
+        return 1
+    r = doc["result"]
+    if not r["feasible"]:
+        print(f"infeasible (coolest achievable maximum "
+              f"{r['max_temp_c']:.1f} C)")
+        return 1
+    s = r["spec"]
+    print(f"{s['chip']} x{s['n_chips']} under {s['cooling']}"
+          f"{' (flip)' if s.get('flip') else ''}: "
+          f"{r['f_ghz']:.1f} GHz, {r['max_temp_c']:.1f} C, "
+          f"{r['total_power_w']:.0f} W"
+          f"{' [degraded: ' + doc['rung'] + ']' if doc['degraded'] else ''}")
+    if r["npb_time_s"]:
+        print(format_table(
+            ["benchmark", "time (ms)"],
+            [[k.upper(), v * 1e3] for k, v in r["npb_time_s"].items()]))
+    return 0
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -347,6 +475,70 @@ def build_parser() -> argparse.ArgumentParser:
                         "rewritten after each chunk (default: auto)")
     p.set_defaults(func=_cmd_campaign)
 
+    p = sub.add_parser(
+        "serve",
+        help="HTTP request-serving endpoint with coalescing, result "
+             "cache, and admission control")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023,
+                   help="listen port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="dispatcher count; also the in-flight bound")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission bound: requests queued past this "
+                        "are shed with a structured 429")
+    p.add_argument("--cache-capacity", type=int, default=256,
+                   help="result-cache entries (LRU past this)")
+    p.add_argument("--cache-ttl", type=float, default=None,
+                   metavar="SECONDS",
+                   help="result-cache time-to-live (default: no expiry)")
+    p.add_argument("--processes", action="store_true",
+                   help="evaluate on a persistent process pool instead "
+                        "of dispatcher threads (CPU parallelism)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="queue-wait deadline applied to requests that "
+                        "do not set one")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per request for transient errors")
+    p.add_argument("--allow-degraded", action="store_true",
+                   help="permit analytic-model fallback when the "
+                        "full-fidelity pipeline fails (provenance on "
+                        "the response)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="retry-jitter seed")
+    p.add_argument("--manifest", default=None, metavar="PATH",
+                   help="write a run manifest with serve/cache stats "
+                        "on shutdown")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="max seconds to finish outstanding work on "
+                        "shutdown (then queued jobs are cancelled)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a JSON ExperimentSpec to a running repro serve")
+    p.add_argument("json", nargs="?", default=None,
+                   help="spec as a JSON object (same shape as "
+                        "`repro spec`)")
+    p.add_argument("--url", default="http://127.0.0.1:8023",
+                   help="server base URL")
+    p.add_argument("--priority", type=int, default=0,
+                   help="scheduling class; lower runs first")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="max queue wait before the server expires the "
+                        "request")
+    p.add_argument("--wait", action="store_true",
+                   help="block for and print the result")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="result wait budget with --wait")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the server to drain and exit instead of "
+                        "submitting")
+    p.set_defaults(func=_cmd_submit)
+
     p = sub.add_parser("robustness",
                        help="conclusion survival over the calibration "
                             "band")
@@ -387,6 +579,19 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with tracer.span(f"cli.{args.command}"):
             rc = args.func(args)
+    except KeyboardInterrupt:
+        # A Ctrl-C mid-run must not dump a traceback: campaigns have
+        # already checkpointed every finished point and `serve` drains
+        # inside its own handler, so exit with the conventional
+        # 128+SIGINT code and keep the observability flush below.
+        print("\ninterrupted (Ctrl-C)", file=sys.stderr)
+        if args.command == "campaign":
+            checkpoint = getattr(args, "checkpoint", None)
+            if checkpoint:
+                print(f"finished points are checkpointed in "
+                      f"{checkpoint}; rerun with --resume to continue",
+                      file=sys.stderr)
+        rc = 130
     finally:
         if trace_out is not None:
             if str(trace_out).endswith(".jsonl"):

@@ -11,6 +11,7 @@ a plain dict for storage in result logs.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
+from dataclasses import fields as dataclass_fields
 
 from .errors import ConfigurationError
 
@@ -59,11 +60,35 @@ class ExperimentSpec:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentSpec":
-        """Inverse of :meth:`to_dict` (tuples restored)."""
+    def from_dict(cls, data: dict, *, strict: bool = True
+                  ) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict` (tuples restored).
+
+        Args:
+            data: the spec as a plain dict (e.g. parsed JSON).
+            strict: reject unknown top-level keys with a
+                :class:`~repro.errors.ConfigurationError` naming them.
+                A typoed key silently ignored would run a *different*
+                experiment than the one requested — and silently
+                collide in the serve-layer result cache. ``False``
+                drops unknown keys (forward-compat readers of old
+                result logs).
+        """
         d = dict(data)
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            if strict:
+                raise ConfigurationError(
+                    f"unknown ExperimentSpec key(s): "
+                    f"{', '.join(repr(k) for k in unknown)} "
+                    f"(known keys: {', '.join(sorted(known))})")
+            for k in unknown:
+                d.pop(k)
         if d.get("benchmarks") is not None:
             d["benchmarks"] = tuple(d["benchmarks"])
+        if d.get("package_overrides") is not None:
+            d["package_overrides"] = dict(d["package_overrides"])
         return cls(**d)
 
     # -- pipeline pieces --------------------------------------------------------
@@ -93,12 +118,23 @@ class ExperimentSpec:
     def run(self) -> "ExperimentResult":
         """Execute the power -> thermal -> performance pipeline."""
         from .core.freqopt import max_frequency
+
+        model = self.thermal_model()
+        point = max_frequency(model, self.threshold_c)
+        return self.result_from_point(point)
+
+    def result_from_point(self, point) -> "ExperimentResult":
+        """Finish the pipeline from an already-found operating point.
+
+        The second half of :meth:`run` — NPB execution times at the
+        point's frequency — split out so alternative frequency searches
+        (the serve layer's analytic degradation rung, custom thermal
+        models) produce results through the identical code path.
+        """
         from .perfsim.analytic import AnalyticModel
         from .perfsim.npb import NPB_ORDER, get_profile
         from .perfsim.system import SystemConfig
 
-        model = self.thermal_model()
-        point = max_frequency(model, self.threshold_c)
         npb: dict[str, float] = {}
         if point.feasible:
             cfg = SystemConfig(n_chips=self.n_chips)

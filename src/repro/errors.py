@@ -93,6 +93,55 @@ class CheckpointError(ReproError):
     """A campaign checkpoint file is missing, corrupt, or incompatible."""
 
 
+class ServeError(ReproError):
+    """A request-serving (``repro.serve``) operation failed.
+
+    The serving layer's errors describe the *broker's* state (closed,
+    overloaded, deadline passed), not a model failure, so the retry /
+    degradation classifier never sees them: they are raised at the
+    submission and wait boundaries, outside any evaluation ladder.
+    """
+
+
+class OverloadedError(ServeError):
+    """The broker shed a request instead of queueing it unboundedly.
+
+    Carries the structured admission-control state at the moment of
+    shedding so clients (and the HTTP 429 payload) can report and
+    back off intelligently.
+    """
+
+    def __init__(self, message: str = "broker overloaded", *,
+                 queued: int = 0, in_flight: int = 0,
+                 limit: int = 0) -> None:
+        super().__init__(message)
+        self.queued = queued
+        self.in_flight = in_flight
+        self.limit = limit
+
+    def to_dict(self) -> dict:
+        """Structured payload for logs and HTTP responses."""
+        return {"error": "overloaded", "message": str(self),
+                "queued": self.queued, "in_flight": self.in_flight,
+                "limit": self.limit}
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline passed before the broker could run it."""
+
+    def __init__(self, message: str = "deadline exceeded", *,
+                 deadline_s: float = 0.0, waited_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.waited_s = waited_s
+
+    def to_dict(self) -> dict:
+        """Structured payload for logs and HTTP responses."""
+        return {"error": "deadline_exceeded", "message": str(self),
+                "deadline_s": self.deadline_s,
+                "waited_s": self.waited_s}
+
+
 class DegradedResultWarning(Warning):
     """A result was produced by a degraded model rung.
 

@@ -10,7 +10,11 @@ parallel without giving up the guarantees the rest of the system makes:
   metrics repatriated into the parent registry;
 * :mod:`repro.parallel.seeds` — SHA-256 seed derivation so every
   point's RNG stream depends only on (campaign seed, point key), never
-  on which worker ran it or in what order.
+  on which worker ran it or in what order;
+* :mod:`repro.parallel.service` — a persistent, item-at-a-time
+  :class:`WorkerPool` over the same worker machinery, for callers
+  (the :mod:`repro.serve` broker) whose work arrives as requests
+  rather than grids.
 
 The invariant the test suite pins: a campaign run at ``--workers 1``,
 ``2``, and ``4`` produces the identical :class:`~repro.core.campaign.
@@ -28,9 +32,11 @@ from .pool import (
     snapshot_delta,
 )
 from .seeds import derive_seed
+from .service import WorkerPool
 
 __all__ = [
     "ParallelConfig",
+    "WorkerPool",
     "chunk_indices",
     "derive_seed",
     "run_chunked",

@@ -1,0 +1,105 @@
+"""Persistent item-at-a-time worker pool for the serving layer.
+
+:func:`repro.parallel.pool.run_chunked` is a batch API: it owns its
+pool for the duration of one grid and tears it down. A request broker
+(:mod:`repro.serve`) has the opposite shape — the pool outlives any
+single request and items arrive one at a time — so :class:`WorkerPool`
+keeps a :class:`~concurrent.futures.ProcessPoolExecutor` warm behind a
+``submit(item) -> Future`` interface while preserving the two
+guarantees the batch engine established:
+
+* the task function and payload are pinned per process through the
+  same ``_init_worker`` initializer, so serve workers and campaign
+  workers are interchangeable task targets;
+* every item repatriates the *delta* of its worker-side metrics
+  registry (:func:`~repro.parallel.pool.snapshot_delta`), merged into
+  the parent registry on completion, so served requests show up in
+  manifests exactly like campaign points do.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+from ..obs import get_registry, histogram
+from .pool import ParallelConfig, _init_worker, snapshot_delta
+
+__all__ = ["WorkerPool"]
+
+
+def _run_item(item: Any) -> tuple[Any, dict[str, Any], float]:
+    """Evaluate one item in a worker; returns (result, metrics, wall)."""
+    from . import pool as _pool
+    assert _pool._WORKER_FN is not None, "worker not initialized"
+    registry = get_registry()
+    before = registry.snapshot()
+    t0 = time.perf_counter()
+    result = _pool._WORKER_FN(_pool._WORKER_PAYLOAD, item)
+    wall = time.perf_counter() - t0
+    return result, snapshot_delta(before, registry.snapshot()), wall
+
+
+class WorkerPool:
+    """A long-lived process pool evaluating one item per submission.
+
+    Args:
+        fn: module-level (picklable) task function
+            ``fn(payload, item) -> result``.
+        payload: shared picklable context handed to every call.
+        workers: process count (>= 1).
+        start_method: multiprocessing start method (None = ``fork``
+            where available, matching :class:`~repro.parallel.pool.
+            ParallelConfig`).
+    """
+
+    def __init__(self, fn: Callable[[Any, Any], Any], payload: Any, *,
+                 workers: int = 1,
+                 start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        ctx = ParallelConfig(workers=workers,
+                             start_method=start_method).context()
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx,
+            initializer=_init_worker, initargs=(fn, payload))
+
+    def submit(self, item: Any) -> "Future[Any]":
+        """Schedule one item; the future resolves to ``fn``'s result.
+
+        The worker's metrics delta is folded into the parent registry
+        before the returned future resolves, so a caller observing the
+        result also observes its instruments.
+        """
+        if self._pool is None:
+            raise ConfigurationError("worker pool is closed")
+        inner = self._pool.submit(_run_item, item)
+        outer: Future[Any] = Future()
+
+        def _done(fut: "Future") -> None:
+            try:
+                result, delta, wall = fut.result()
+            except BaseException as exc:  # worker died or task raised
+                outer.set_exception(exc)
+                return
+            get_registry().merge_snapshot(delta)
+            histogram("parallel.item_seconds").observe(wall)
+            outer.set_result(result)
+
+        inner.add_done_callback(_done)
+        return outer
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=wait, cancel_futures=not wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,122 @@
+"""In-process client API over a :class:`~repro.serve.broker.Broker`.
+
+``ServeClient`` is the programmatic surface the CLI and the HTTP layer
+both sit on: submit a spec (dataclass or plain dict), wait for its
+result, or stream its lifecycle events. Results returned by
+:meth:`ServeClient.result` are the *exact* objects the underlying
+pipeline produced — byte-identical to calling
+:meth:`ExperimentSpec.run` directly — with serving provenance
+(coalesced, cached, degraded rung) available separately via
+:meth:`ServeClient.status`.
+
+:func:`result_to_dict` / :func:`result_from_dict` define the canonical
+JSON wire form of an :class:`~repro.config.ExperimentResult`; the HTTP
+endpoint and the byte-identity tests both use them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from ..config import ExperimentResult, ExperimentSpec
+from .broker import Broker
+from .request import Job
+from .runner import SpecOutcome
+
+__all__ = [
+    "ServeClient",
+    "result_from_dict",
+    "result_to_dict",
+    "result_to_json",
+]
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """JSON-ready form of an experiment result (spec embedded)."""
+    return {
+        "spec": result.spec.to_dict(),
+        "feasible": result.feasible,
+        "f_ghz": result.f_ghz,
+        "max_temp_c": result.max_temp_c,
+        "total_power_w": result.total_power_w,
+        "npb_time_s": dict(result.npb_time_s),
+    }
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """Canonical (sorted, compact) JSON of a result — the byte form
+    the serve layer's identity guarantee is stated over."""
+    return json.dumps(result_to_dict(result), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    return ExperimentResult(
+        spec=ExperimentSpec.from_dict(data["spec"]),
+        feasible=bool(data["feasible"]),
+        f_ghz=float(data["f_ghz"]),
+        max_temp_c=float(data["max_temp_c"]),
+        total_power_w=float(data["total_power_w"]),
+        npb_time_s={str(k): float(v)
+                    for k, v in data.get("npb_time_s", {}).items()},
+    )
+
+
+class ServeClient:
+    """Submit / await / observe experiment requests on a broker."""
+
+    def __init__(self, broker: Broker) -> None:
+        self.broker = broker
+
+    def submit(self, spec: ExperimentSpec | dict, *,
+               priority: int = 0, deadline_s: float | None = None,
+               label: str = "") -> str:
+        """Submit one request; returns its job id (shared when the
+        request coalesced onto an existing computation).
+
+        Raises:
+            OverloadedError: the broker shed the request.
+        """
+        return self.broker.submit(spec, priority=priority,
+                                  deadline_s=deadline_s,
+                                  label=label).id
+
+    def job(self, job_id: str) -> Job:
+        """The underlying job handle."""
+        return self.broker.job(job_id)
+
+    def outcome(self, job_id: str,
+                timeout: float | None = None) -> SpecOutcome:
+        """Block for the full outcome (result + rung provenance)."""
+        return self.broker.job(job_id).wait(timeout=timeout)
+
+    def result(self, job_id: str,
+               timeout: float | None = None) -> ExperimentResult:
+        """Block for the experiment result.
+
+        Raises:
+            TimeoutError: still pending after ``timeout``.
+            The job's failure (e.g. :class:`~repro.errors.
+            DeadlineExceededError`) when it did not complete.
+        """
+        return self.outcome(job_id, timeout=timeout).result
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """JSON-ready job status (state, events, provenance)."""
+        job = self.broker.job(job_id)
+        out = job.describe()
+        if job.state == "done":
+            outcome: SpecOutcome = job.outcome
+            out["rung"] = outcome.rung
+            out["degraded"] = outcome.degraded
+            out["attempts"] = outcome.attempts
+        return out
+
+    def stream_progress(self, job_id: str, *,
+                        timeout: float | None = None
+                        ) -> Iterator[dict[str, Any]]:
+        """Yield lifecycle events (queued / running / done / ...) as
+        they happen, ending when the job reaches a terminal state."""
+        return self.broker.job(job_id).stream(timeout=timeout)

@@ -1,0 +1,120 @@
+"""Resilient evaluation of one served experiment request.
+
+The broker never calls :meth:`ExperimentSpec.run` directly: requests
+go through :func:`run_spec_resilient`, which wraps the full-fidelity
+pipeline in the same retry / degradation machinery campaigns use
+(:mod:`repro.resilience`), so a transient solver fault retries and a
+model-tier fault falls to the analytic rung instead of killing the
+server. Degradation provenance travels on the :class:`SpecOutcome`
+(rung, degraded, attempts), *not* on the result object — the happy
+path returns exactly what a direct ``spec.run()`` returns, which is
+what keeps served results byte-identical to the underlying API.
+
+:func:`pool_task` is the module-level (picklable) form the
+:class:`~repro.parallel.service.WorkerPool` process mode schedules.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from ..config import ExperimentResult, ExperimentSpec
+from ..errors import DegradedResultWarning
+from ..obs import span
+from ..resilience import ResilienceOptions
+from ..resilience.degrade import DegradationLadder
+
+__all__ = ["SpecOutcome", "pool_task", "run_spec_resilient"]
+
+
+@dataclass(frozen=True)
+class SpecOutcome:
+    """A served evaluation plus its resilience provenance.
+
+    Attributes:
+        result: the experiment result (identical to a direct
+            ``spec.run()`` whenever ``rung == "full"``).
+        rung: which ladder rung answered (``"full"`` / ``"analytic"``).
+        degraded: True when a lower-fidelity rung supplied the value.
+        attempts: total call attempts across rungs (retries included).
+        errors: stringified errors absorbed on the way.
+    """
+
+    result: ExperimentResult
+    rung: str
+    degraded: bool
+    attempts: int
+    errors: tuple[str, ...] = ()
+
+
+def _spec_rungs(spec: ExperimentSpec):
+    """The degradation ladder for one spec: full pipeline, then the
+    closed-form analytic stack model feeding the same NPB step."""
+    from ..cooling.options import get_cooling
+    from ..core.freqopt import max_frequency
+    from ..power.processors import get_chip
+    from ..stack.chipstack import StackConfig, flip_even_layers
+    from ..thermal.analytic import AnalyticStackModel
+
+    def full() -> ExperimentResult:
+        return spec.run()
+
+    def analytic() -> ExperimentResult:
+        chip = get_chip(spec.chip)
+        stack = (flip_even_layers(chip, spec.n_chips) if spec.flip
+                 else StackConfig(chip=chip, n_chips=spec.n_chips))
+        model = AnalyticStackModel(stack, get_cooling(spec.cooling),
+                                   spec.package_params())
+        point = max_frequency(model, spec.threshold_c)
+        return spec.result_from_point(point)
+
+    return (("full", full), ("analytic", analytic))
+
+
+def run_spec_resilient(spec: ExperimentSpec,
+                       options: ResilienceOptions | None = None
+                       ) -> SpecOutcome:
+    """Evaluate a spec under retry + (optional) graceful degradation.
+
+    Args:
+        spec: the experiment.
+        options: retry policy / degradation switch (None = defaults:
+            retry transients, no degradation). Fault injectors are a
+            campaign-evaluator feature and are ignored here — serve
+            tests inject faults through a custom broker runner instead.
+    """
+    opts = options if options is not None else ResilienceOptions()
+    ladder = DegradationLadder(_spec_rungs(spec))
+    with span("serve.evaluate", chip=spec.chip, n_chips=spec.n_chips,
+              cooling=spec.cooling):
+        with warnings.catch_warnings():
+            # Provenance is returned structurally; the warning would
+            # land in a dispatcher thread no client observes.
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            outcome = ladder.run(retry_policy=opts.retry_policy,
+                                 sleep=opts.sleep,
+                                 allow_degraded=opts.allow_degraded)
+    return SpecOutcome(result=outcome.value, rung=outcome.rung,
+                       degraded=outcome.degraded,
+                       attempts=outcome.attempts,
+                       errors=outcome.errors)
+
+
+@dataclass(frozen=True)
+class PoolPayload:
+    """Picklable resilience settings for process-mode evaluation
+    (mirrors the campaign's worker payload: the ``sleep`` callable and
+    any injector stay on the parent side)."""
+
+    retry_policy: object
+    allow_degraded: bool
+
+
+def pool_task(payload: PoolPayload, spec_dict: dict) -> SpecOutcome:
+    """The :class:`~repro.parallel.service.WorkerPool` task: rebuild
+    the spec and evaluate it resiliently (module-level for pickling)."""
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return run_spec_resilient(spec, ResilienceOptions(
+        retry_policy=payload.retry_policy,
+        allow_degraded=payload.allow_degraded))
