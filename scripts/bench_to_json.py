@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Measure performance trajectories -> BENCH_parallel.json / BENCH_serve.json.
+"""Measure performance trajectories -> BENCH_<bench>.json.
 
 ``--bench parallel`` (the default) times the same frequency-grid
 campaign (the Figs. 7/8 families) through each execution strategy the
@@ -24,6 +24,14 @@ run: some requests coalesced, some hit the result cache, and each
 unique config hash was computed exactly once
 (``completed_total == unique_specs``).
 
+``--bench supervisor`` times the same CPU-bound chunked map through
+the supervised pool (the default execution path) and the retained bare
+``ProcessPoolExecutor`` path, then replays it with one seeded
+``worker_kill`` fault. It emits the supervision overhead fraction and
+the crash-recovery latency, and exits nonzero unless the overhead is
+below 5%, the faulted run's results are identical to the clean run's,
+and the supervisor actually restarted a worker.
+
 Wall-clock speedups from extra workers obviously require extra cores;
 ``cpu_count`` is recorded so a 1-core container's numbers are not
 mistaken for a regression.
@@ -36,6 +44,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_to_json.py --bench serve \
         [--out BENCH_serve.json] [--requests 200] [--unique 16] \
         [--serve-workers 2] [--client-threads 8]
+    PYTHONPATH=src python scripts/bench_to_json.py --bench supervisor \
+        [--out BENCH_supervisor.json] [--spin 300000] [--repeat 3]
 """
 
 from __future__ import annotations
@@ -269,9 +279,101 @@ def run_serve(args) -> int:
     return 0 if ok else 1
 
 
+def _spin_item(payload: int, item: int) -> int:
+    """Deterministic CPU-bound unit of work for the supervisor bench."""
+    acc = item & 0xFFFFFFFF
+    for _ in range(payload):
+        acc = (acc * 1664525 + 1013904223) & 0xFFFFFFFF
+    return acc
+
+
+def bench_supervisor(args) -> dict:
+    """Supervision overhead (no faults) + recovery latency (one kill)."""
+    from repro.obs import get_registry
+    from repro.parallel import ParallelConfig, run_chunked
+    from repro.resilience.faults import FaultSpec, ProcessFaultPlan
+
+    items = list(range(24))
+
+    def run(*, supervised: bool, fault_plan=None):
+        cfg = ParallelConfig(workers=2, chunk_size=2,
+                             supervised=supervised)
+        return run_chunked(items, _spin_item, args.spin,
+                           config=cfg, fault_plan=fault_plan)
+
+    def best(**kw) -> float:
+        t = float("inf")
+        for _ in range(max(1, args.repeat)):
+            t0 = time.perf_counter()
+            run(**kw)
+            t = min(t, time.perf_counter() - t0)
+        return t
+
+    expected = [_spin_item(args.spin, i) for i in items]
+    bare = best(supervised=False)
+    supervised = best(supervised=True)
+    overhead = supervised / bare - 1.0
+
+    # probability=0.1, seed=31 fires on exactly one of this workload's
+    # twelve chunk keys (chunk/0-1, first attempt only) -- see
+    # benchmarks/bench_supervisor.py, which pins the same scenario.
+    plan = ProcessFaultPlan(
+        specs=(FaultSpec("worker_kill", probability=0.1, max_fires=1),),
+        seed=31)
+    before = get_registry().snapshot().get("counters", {})
+    t0 = time.perf_counter()
+    faulted_results = run(supervised=True, fault_plan=plan)
+    faulted = time.perf_counter() - t0
+    after = get_registry().snapshot().get("counters", {})
+    deltas = {name: after.get(name, 0) - before.get(name, 0)
+              for name in ("supervisor.restarts",
+                           "supervisor.worker_crashes",
+                           "supervisor.task_retries")}
+
+    return {
+        "bench": "supervisor",
+        "cpu_count": os.cpu_count(),
+        "workers": 2,
+        "items": len(items),
+        "chunk_size": 2,
+        "spin": args.spin,
+        "repeat": args.repeat,
+        "seconds": {
+            "bare_executor": round(bare, 4),
+            "supervised": round(supervised, 4),
+            "supervised_one_kill": round(faulted, 4),
+        },
+        "overhead_pct": round(overhead * 100, 2),
+        "recovery_latency_s": round(max(0.0, faulted - supervised), 4),
+        "supervisor_counters": deltas,
+        "overhead_under_5pct": overhead < 0.05,
+        "faulted_results_identical": faulted_results == expected,
+    }
+
+
+def run_supervisor(args) -> int:
+    out = bench_supervisor(args)
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    s = out["seconds"]
+    print(f"supervisor: bare {s['bare_executor']}s, "
+          f"supervised {s['supervised']}s "
+          f"(overhead {out['overhead_pct']:+.1f}%), "
+          f"one kill {s['supervised_one_kill']}s "
+          f"(recovery {out['recovery_latency_s']}s, "
+          f"{out['supervisor_counters']['supervisor.restarts']} restart)")
+    print(f"wrote {args.out}")
+    ok = (out["overhead_under_5pct"]
+          and out["faulted_results_identical"]
+          and out["supervisor_counters"]["supervisor.restarts"] >= 1)
+    if not ok:
+        print("supervisor bench FAILED its supervision assertions",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench", choices=("parallel", "serve"),
+    ap.add_argument("--bench", choices=("parallel", "serve", "supervisor"),
                     default="parallel")
     ap.add_argument("--out", default=None,
                     help="output path (default BENCH_<bench>.json)")
@@ -291,12 +393,16 @@ def main(argv=None) -> int:
                     help="serve: concurrent submitting clients")
     ap.add_argument("--max-queue", type=int, default=64,
                     help="serve: broker admission bound")
+    ap.add_argument("--spin", type=int, default=300_000,
+                    help="supervisor: busy-loop iterations per item")
     args = ap.parse_args(argv)
     if args.out is None:
         args.out = f"BENCH_{args.bench}.json"
 
     if args.bench == "serve":
         return run_serve(args)
+    if args.bench == "supervisor":
+        return run_supervisor(args)
 
     out = {
         "bench": "parallel_campaign",

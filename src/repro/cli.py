@@ -11,6 +11,9 @@ Commands:
 * ``headline`` — the abstract's numbers, end to end.
 * ``campaign`` — resilient checkpointed sweep campaign (retry,
   graceful degradation, failure ledger, resume).
+* ``chaos`` — a campaign under randomized *process* faults (worker
+  kill / hang / slow heartbeat): proves the supervised pool recovers,
+  quarantines poison points, and leaves a verifiable checkpoint.
 * ``serve`` — HTTP request-serving endpoint (coalescing, result
   cache, admission control; see ``docs/serving.md``).
 * ``submit`` — submit a JSON spec to a running ``repro serve``.
@@ -228,6 +231,102 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                   f"{'/'.join(e.rungs_tried)})")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+        print(f"manifest: {runner.manifest_path()}")
+    finished = s["ok"] + s["infeasible"]
+    return 0 if finished > 0 else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a campaign under randomized process faults and prove recovery.
+
+    The supervised pool is expected to (a) finish every point a fault
+    did not permanently poison, (b) quarantine the rest into the
+    ledger, and (c) leave a checkpoint that passes integrity
+    verification. Exit 0 means the campaign finished points despite
+    the chaos; 1 means it produced nothing.
+    """
+    import json as _json
+    import warnings
+
+    from .core.campaign import (CampaignRunner, frequency_grid,
+                                verify_checkpoint)
+    from .errors import CheckpointError, DegradedResultWarning
+    from .obs import get_registry
+    from .resilience import (PROCESS_FAULT_KINDS, FaultInjector,
+                             FaultSpec, ProcessFaultPlan,
+                             ResilienceOptions, RetryPolicy)
+
+    chips = tuple(range(1, args.max_chips + 1))
+    cools = tuple(args.cooling) if args.cooling else ("water",)
+    points = frequency_grid(args.chip, chips, cools)
+
+    specs = [FaultSpec.parse(s)
+             for s in (args.inject or ["worker_kill:0.5:1"])]
+    proc_specs = tuple(s for s in specs
+                       if s.kind in PROCESS_FAULT_KINDS)
+    model_specs = tuple(s for s in specs
+                        if s.kind not in PROCESS_FAULT_KINDS)
+    plan = (ProcessFaultPlan(specs=proc_specs, seed=args.seed)
+            if proc_specs else None)
+    injector = (FaultInjector(model_specs, seed=args.seed)
+                if model_specs else None)
+    options = ResilienceOptions(
+        retry_policy=RetryPolicy(max_attempts=args.max_retries + 1,
+                                 seed=args.seed),
+        allow_degraded=args.allow_degraded,
+        injector=injector,
+    )
+    print(f"repro chaos: {len(points)} points, workers {args.workers}, "
+          f"faults {' '.join(f'{s.kind}:{s.probability}:{s.max_fires}' for s in specs)}, "
+          f"seed {args.seed}", flush=True)
+    runner = CampaignRunner(points, resilience=options,
+                            checkpoint_path=args.checkpoint,
+                            workers=args.workers,
+                            chunk_size=args.chunk_size,
+                            process_faults=plan,
+                            chunk_timeout_s=args.chunk_timeout,
+                            heartbeat_timeout_s=args.heartbeat_timeout,
+                            max_point_crashes=args.poison_threshold)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        result = runner.run(resume=args.resume)
+
+    s = result.summary()
+    quarantined = s.get("poison", 0)
+    counters = get_registry().snapshot()["counters"]
+    print(format_table(
+        ["point", "status", "rung", "attempts"],
+        [[p.key, result.records[p.key].status,
+          result.records[p.key].rung or "-",
+          result.records[p.key].attempts] for p in points]))
+    print(f"evaluated {s['evaluated']}, skipped {s['skipped']}, "
+          f"ok {s['ok']}, infeasible {s['infeasible']}, "
+          f"failed {s['failed']}, quarantined {quarantined}")
+    print("supervision: "
+          f"restarts {counters.get('supervisor.restarts', 0)}, "
+          f"worker crashes {counters.get('supervisor.worker_crashes', 0)}, "
+          f"heartbeat misses {counters.get('supervisor.heartbeat_misses', 0)}, "
+          f"task retries {counters.get('supervisor.task_retries', 0)}, "
+          f"checkpoint recoveries {counters.get('checkpoint.recoveries', 0)}")
+    if result.ledger:
+        print("failure ledger:")
+        for e in result.ledger:
+            print(f"  {e.key}: {e.exception}: {e.message}")
+    if args.ledger_out:
+        with open(args.ledger_out, "w") as fh:
+            _json.dump([e.to_dict() for e in result.ledger], fh,
+                       indent=1)
+        print(f"ledger: {args.ledger_out}")
+    if args.checkpoint:
+        try:
+            info = verify_checkpoint(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"checkpoint INTEGRITY FAILURE: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"checkpoint: {args.checkpoint} (integrity ok, "
+              f"{info['points']} points, "
+              f"{info['ledger_entries']} ledger entries)")
         print(f"manifest: {runner.manifest_path()}")
     finished = s["ok"] + s["infeasible"]
     return 0 if finished > 0 else 1
@@ -476,6 +575,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
+        "chaos",
+        help="run a campaign under randomized process faults (worker "
+             "kill/hang) and verify the supervised pool recovers")
+    add_chip(p, default="low-power-cmp")
+    p.add_argument("--max-chips", type=int, default=4)
+    p.add_argument("--cooling", nargs="*", default=None,
+                   help="cooling options (default: water)")
+    p.add_argument("--checkpoint", default="chaos_campaign.json",
+                   help="JSON checkpoint path (integrity-verified "
+                        "after the run)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip points already finished in the checkpoint")
+    p.add_argument("--inject", nargs="*", default=None,
+                   metavar="KIND[:PROB[:MAX]]",
+                   help="fault specs; process kinds (worker_kill, "
+                        "worker_hang, slow_heartbeat) run in the pool "
+                        "workers, model kinds in the evaluation ladder "
+                        "(default: 'worker_kill:0.5:1')")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-schedule seed (same seed + grid = same "
+                        "faults at any worker count)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="supervised worker processes")
+    p.add_argument("--chunk-size", type=int, default=1, metavar="K",
+                   help="points per chunk (1 = finest quarantine "
+                        "granularity)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="model-level retries per point")
+    p.add_argument("--allow-degraded", action="store_true",
+                   help="permit analytic-model fallback")
+    p.add_argument("--chunk-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="per-chunk wall-clock budget before the worker "
+                        "is killed (recovers hung workers)")
+    p.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="worker silence budget before restart")
+    p.add_argument("--poison-threshold", type=int, default=2,
+                   metavar="N",
+                   help="worker crashes per chunk before its points "
+                        "are quarantined as poison")
+    p.add_argument("--ledger-out", default=None, metavar="PATH",
+                   help="also write the failure ledger as JSON (CI "
+                        "artifact)")
+    p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
         "serve",
         help="HTTP request-serving endpoint with coalescing, result "
              "cache, and admission control")
@@ -576,9 +722,16 @@ def main(argv: list[str] | None = None) -> int:
                 parent_id=sp.parent_id, **sp.attrs)
     if trace_out is not None or verbose >= 2:
         tracer.enable()
+    from .errors import PoolClosedError
     try:
         with tracer.span(f"cli.{args.command}"):
             rc = args.func(args)
+    except PoolClosedError as exc:
+        # EX_TEMPFAIL: the pool/service is restartable and the request
+        # was not wrong — rerun (campaigns resume from their
+        # checkpoint) or let the serve broker rebuild its pool.
+        print(f"error: {exc}", file=sys.stderr)
+        rc = 75
     except KeyboardInterrupt:
         # A Ctrl-C mid-run must not dump a traceback: campaigns have
         # already checkpointed every finished point and `serve` drains

@@ -9,6 +9,7 @@ from .campaign import (
     evaluate_point,
     frequency_grid,
     npb_grid,
+    verify_checkpoint,
 )
 from .cosim import (
     CoolingOutcome,
@@ -50,6 +51,7 @@ __all__ = [
     "evaluate_point",
     "frequency_grid",
     "npb_grid",
+    "verify_checkpoint",
     "DtmController",
     "DtmPolicy",
     "DtmTrace",

@@ -23,6 +23,7 @@ into the result objects the figure drivers consume.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -59,7 +60,66 @@ from .freqopt import OperatingPoint
 
 CHECKPOINT_VERSION = 1
 
+#: Statuses resume must not recompute. ``poison`` (quarantined by the
+#: supervised pool) is deliberately absent: a poisoned point is
+#: re-attempted on the next run — the crash may have been environmental.
 _FINISHED = ("ok", "infeasible")
+
+
+def _payload_digest(payload: dict) -> str:
+    """SHA-256 over the checkpoint's *stable* content.
+
+    The manifest is excluded: it carries timestamps and host facts, and
+    serial-vs-parallel byte comparisons strip it already. Everything
+    resume actually consumes — version, points, ledger — is covered.
+    """
+    stable = {"version": payload.get("version"),
+              "points": payload.get("points", {}),
+              "ledger": payload.get("ledger", [])}
+    blob = json.dumps(stable, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def verify_checkpoint(path: str | os.PathLike) -> dict:
+    """Validate a checkpoint file's integrity without loading a campaign.
+
+    Returns a summary dict (``version``, ``points``, ``ledger_entries``,
+    ``checksum_ok``) or raises :class:`~repro.errors.CheckpointError`
+    when the file is unreadable, structurally wrong, or fails its
+    embedded checksum. Pre-checksum checkpoints (no ``checksum`` key)
+    validate structurally with ``checksum_ok=None``.
+    """
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {p}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(f"checkpoint {p} is not a JSON object")
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {p} has version {data.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION}")
+    checksum_ok: bool | None = None
+    stored = data.get("checksum")
+    if stored is not None:
+        checksum_ok = stored == _payload_digest(data)
+        if not checksum_ok:
+            raise CheckpointError(
+                f"checkpoint {p} failed its SHA-256 checksum — "
+                f"truncated or torn write")
+    try:
+        records = {k: PointRecord.from_dict(v)
+                   for k, v in data.get("points", {}).items()}
+        ledger = [LedgerEntry.from_dict(e)
+                  for e in data.get("ledger", [])]
+    except (TypeError, KeyError, ValueError, AttributeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {p} has malformed records: "
+            f"{type(exc).__name__}: {exc}") from exc
+    return {"version": data["version"], "points": len(records),
+            "ledger_entries": len(ledger), "checksum_ok": checksum_ok}
 
 
 @dataclass(frozen=True)
@@ -550,12 +610,30 @@ class CampaignRunner:
             its deliberate fresh-build behaviour. Results are identical
             either way — only ``thermal.model_cache_*`` counters and
             wall-clock change. Ignored for custom evaluators.
+        process_faults: optional
+            :class:`~repro.resilience.faults.ProcessFaultPlan` executed
+            inside the pool workers (``repro chaos``). Requires
+            ``workers`` — process faults are meaningless without the
+            supervised pool to recover from them. Chunks that crash
+            their worker past the quarantine threshold land in the
+            ledger as ``poison`` points instead of aborting the run.
+        chunk_timeout_s: wall-clock budget per *chunk* enforced by the
+            supervisor — unlike ``point_timeout_s`` (a worker-thread
+            wait bound), blowing this budget kills and restarts the
+            worker process, so even a hard-wedged solver is recovered.
+        heartbeat_timeout_s: supervisor silence budget per worker
+            (None disables heartbeat monitoring).
+        max_point_crashes: quarantine threshold forwarded to the
+            supervised pool — worker crashes per chunk before its
+            points are recorded as ``poison``.
 
     The campaign config hash deliberately excludes ``workers``,
-    ``chunk_size``, and ``share_models``: execution strategy changes
-    how fast the answer arrives, not what it is, and ledger entries
-    from a 4-worker re-run must tie to the same manifest as the serial
-    original.
+    ``chunk_size``, ``share_models``, and the supervision timeouts:
+    execution strategy changes how fast the answer arrives, not what
+    it is, and ledger entries from a 4-worker re-run must tie to the
+    same manifest as the serial original. ``process_faults`` *is*
+    hashed (only when set — existing hashes are unchanged): injected
+    crashes change which points finish.
     """
 
     def __init__(self, points: tuple[CampaignPoint, ...] |
@@ -569,11 +647,19 @@ class CampaignRunner:
                                      PointRecord] | None = None,
                  workers: int | None = None,
                  chunk_size: int | None = None,
-                 share_models: bool | None = None) -> None:
+                 share_models: bool | None = None,
+                 process_faults=None,
+                 chunk_timeout_s: float | None = None,
+                 heartbeat_timeout_s: float | None = 30.0,
+                 max_point_crashes: int = 2) -> None:
         if not points:
             raise ConfigurationError("a campaign needs at least one point")
         if workers is not None and workers < 1:
             raise ConfigurationError("workers must be >= 1 or None")
+        if process_faults is not None and workers is None:
+            raise ConfigurationError(
+                "process_faults requires workers (the supervised pool "
+                "is what recovers from them)")
         keys = [p.key for p in points]
         counts = _KeyCounter(keys)
         if len(counts) != len(keys):
@@ -589,6 +675,10 @@ class CampaignRunner:
                                 if checkpoint_path is not None else None)
         self.params = params
         self.point_timeout_s = point_timeout_s
+        self.process_faults = process_faults
+        self.chunk_timeout_s = chunk_timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_point_crashes = max_point_crashes
         self.share_models = (share_models if share_models is not None
                              else workers is not None)
         if evaluator is not None:
@@ -607,6 +697,15 @@ class CampaignRunner:
                              for s in self.resilience.injector.specs]
                             if self.resilience.injector else []),
         }
+        if process_faults is not None:
+            # only hashed when chaos is on, so pre-existing campaign
+            # hashes (and their manifests) stay stable
+            self._campaign_config["process_faults"] = {
+                "specs": [f"{s.kind}:{s.probability}:{s.max_fires}"
+                          for s in process_faults.specs],
+                "seed": process_faults.seed,
+                "enabled": process_faults.enabled,
+            }
         self.config_hash = config_hash(self._campaign_config)
 
     @property
@@ -635,29 +734,96 @@ class CampaignRunner:
 
     # -- checkpoint I/O -----------------------------------------------------
 
-    def _load_checkpoint(self) -> tuple[dict[str, PointRecord],
-                                        list[LedgerEntry]]:
-        path = self.checkpoint_path
-        if path is None or not path.exists():
-            return {}, []
+    def _read_checkpoint(self, path: Path
+                         ) -> tuple[dict[str, PointRecord],
+                                    list[LedgerEntry]]:
+        """Strictly parse one checkpoint file (raises CheckpointError)."""
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise CheckpointError(
                 f"cannot read checkpoint {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint {path} is not a JSON object")
         if data.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"checkpoint {path} has version {data.get('version')!r}, "
                 f"expected {CHECKPOINT_VERSION}")
-        records = {k: PointRecord.from_dict(v)
-                   for k, v in data.get("points", {}).items()}
-        ledger = [LedgerEntry.from_dict(e)
-                  for e in data.get("ledger", [])]
+        stored = data.get("checksum")
+        if stored is not None and stored != _payload_digest(data):
+            raise CheckpointError(
+                f"checkpoint {path} failed its SHA-256 checksum — "
+                f"truncated or torn write")
+        try:
+            records = {k: PointRecord.from_dict(v)
+                       for k, v in data.get("points", {}).items()}
+            ledger = [LedgerEntry.from_dict(e)
+                      for e in data.get("ledger", [])]
+        except (TypeError, KeyError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} has malformed records: "
+                f"{type(exc).__name__}: {exc}") from exc
         return records, ledger
+
+    def _quarantine_file(self, path: Path) -> None:
+        """Rotate an unreadable checkpoint aside as ``<name>.corrupt``."""
+        corrupt = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, corrupt)
+        except OSError:
+            return
+        counter("checkpoint.corrupt").inc()
+        log_event("checkpoint_corrupt", path=str(path),
+                  rotated_to=str(corrupt))
+
+    def _load_checkpoint(self) -> tuple[dict[str, PointRecord],
+                                        list[LedgerEntry]]:
+        """Load the checkpoint, recovering instead of crashing.
+
+        Recovery chain: the checkpoint itself → its ``.bak`` (the
+        previous good generation, rotated by :meth:`_write_checkpoint`)
+        → an empty state. An unreadable file is rotated aside as
+        ``.corrupt`` so the evidence survives the rerun; every fallback
+        increments ``checkpoint.recoveries``.
+        """
+        path = self.checkpoint_path
+        if path is None or not path.exists():
+            return {}, []
+        try:
+            return self._read_checkpoint(path)
+        except CheckpointError as exc:
+            log_event("checkpoint_unreadable", path=str(path),
+                      error=str(exc), level=0)
+            self._quarantine_file(path)
+        backup = path.with_name(path.name + ".bak")
+        if backup.exists():
+            try:
+                records, ledger = self._read_checkpoint(backup)
+            except CheckpointError as exc:
+                log_event("checkpoint_backup_unreadable",
+                          path=str(backup), error=str(exc), level=0)
+            else:
+                counter("checkpoint.recoveries").inc()
+                log_event("checkpoint_recovered", source=str(backup),
+                          points=len(records))
+                return records, ledger
+        counter("checkpoint.recoveries").inc()
+        log_event("checkpoint_recovered", source="empty", points=0)
+        return {}, []
 
     def _write_checkpoint(self, records: dict[str, PointRecord],
                           ledger: list[LedgerEntry],
                           manifest: dict | None = None) -> None:
+        """Crash-consistent checkpoint rewrite.
+
+        Write order is the recovery contract: temp file → fsync →
+        rotate the previous good checkpoint to ``.bak`` → atomic
+        ``os.replace``. A torn write can lose at most the generation
+        being written; :meth:`_load_checkpoint` then falls back to
+        ``.bak``. The temp file is unlinked on any failure (including
+        a ``json.dump`` that dies mid-write).
+        """
         path = self.checkpoint_path
         if path is None:
             return
@@ -666,6 +832,7 @@ class CampaignRunner:
             "points": {k: r.to_dict() for k, r in records.items()},
             "ledger": [e.to_dict() for e in ledger],
         }
+        payload["checksum"] = _payload_digest(payload)
         if manifest is not None:
             payload["manifest"] = manifest
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -674,11 +841,14 @@ class CampaignRunner:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=1)
+                fh.flush()
+                os.fsync(fh.fileno())
+            if path.exists():
+                os.replace(path, path.with_name(path.name + ".bak"))
             os.replace(tmp, path)
-        except BaseException:
+        finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
-            raise
         if manifest is not None:
             write_manifest(manifest, self.manifest_path())
 
@@ -813,11 +983,37 @@ class CampaignRunner:
                     ledger.append(entry)
             return records, ledger
 
+        def quarantine(point: CampaignPoint, poisoned
+                       ) -> tuple[PointRecord, LedgerEntry]:
+            """A Poisoned marker (chunk crashed its worker past the
+            threshold) becomes a ``poison`` record + ledger entry."""
+            counter("campaign.points_quarantined").inc()
+            record = PointRecord(
+                point=point, status="poison", rung="poison",
+                attempts=poisoned.crashes,
+                errors=(f"WorkerCrashError: {poisoned.reason}",))
+            entry = LedgerEntry(
+                key=point.key, point=point,
+                exception="WorkerCrashError",
+                message=(f"chunk {poisoned.key} crashed its worker "
+                         f"{poisoned.crashes}x: {poisoned.reason}"),
+                attempts=poisoned.crashes,
+                rungs_tried=("poison",),
+                allow_degraded=self.resilience.allow_degraded,
+                config_hash=self.config_hash)
+            return record, entry
+
         def on_chunk(done) -> None:
             # run_chunked indexes into the pending list; keep the
             # accumulator keyed by *grid* index so ledger entries land
             # in grid order, matching the serial loop.
-            for pending_idx, (record, entry) in done:
+            from ..parallel import Poisoned
+            for pending_idx, result in done:
+                if isinstance(result, Poisoned):
+                    record, entry = quarantine(pending[pending_idx][1],
+                                               result)
+                else:
+                    record, entry = result
                 computed[pending[pending_idx][0]] = (record, entry)
                 self._note_record(record)
             records, ledger = assemble()
@@ -827,10 +1023,14 @@ class CampaignRunner:
                                time.perf_counter() - t0))
 
         config = ParallelConfig(workers=self.workers,
-                                chunk_size=self.chunk_size)
+                                chunk_size=self.chunk_size,
+                                task_timeout_s=self.chunk_timeout_s,
+                                heartbeat_timeout_s=self.heartbeat_timeout_s,
+                                max_task_crashes=self.max_point_crashes)
         run_chunked([p for _, p in pending], _eval_point_task,
                     self._worker_payload(picklable=self.workers > 1),
-                    config=config, on_chunk=on_chunk)
+                    config=config, on_chunk=on_chunk,
+                    fault_plan=self.process_faults)
         # run_chunked returns results positionally over *pending*; map
         # them back to grid indices via the computed dict (already
         # filled by on_chunk).

@@ -93,6 +93,50 @@ class CheckpointError(ReproError):
     """A campaign checkpoint file is missing, corrupt, or incompatible."""
 
 
+class PoolClosedError(ConfigurationError):
+    """Work was submitted to a worker pool that is already closed.
+
+    Raised by :class:`repro.parallel.WorkerPool` and the supervised
+    pool underneath it. Remediation: create a fresh pool (the serve
+    broker does this transparently), or stop submitting after
+    ``close()`` / broker shutdown. The CLI maps this to exit code 75
+    (``EX_TEMPFAIL``) — the service is restartable, the request is not
+    wrong.
+    """
+
+    def __init__(self, message: str = "worker pool is closed") -> None:
+        super().__init__(
+            f"{message} — submissions after close() are dropped by "
+            f"design; build a new WorkerPool (or let the serve broker "
+            f"rebuild one) and resubmit")
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died or hung while holding a task.
+
+    Raised by the supervised pool (:mod:`repro.parallel.supervisor`)
+    when one task has crashed its worker ``crashes`` times — the
+    quarantine threshold — so re-running it would keep killing
+    workers. Campaigns record the points of such a task as ``poison``
+    outcomes in the failure ledger instead of aborting; the serve
+    layer maps this to HTTP 503 (the request failed, the service did
+    not).
+    """
+
+    def __init__(self, message: str = "worker crashed", *,
+                 task_key: str = "", crashes: int = 0,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.task_key = task_key
+        self.crashes = crashes
+        self.reason = reason or message
+
+    def to_dict(self) -> dict:
+        """Structured payload for logs and HTTP 503 responses."""
+        return {"error": "worker_crash", "message": str(self),
+                "task_key": self.task_key, "crashes": self.crashes}
+
+
 class ServeError(ReproError):
     """A request-serving (``repro.serve``) operation failed.
 

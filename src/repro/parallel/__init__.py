@@ -11,6 +11,10 @@ parallel without giving up the guarantees the rest of the system makes:
 * :mod:`repro.parallel.seeds` — SHA-256 seed derivation so every
   point's RNG stream depends only on (campaign seed, point key), never
   on which worker ran it or in what order;
+* :mod:`repro.parallel.supervisor` — the supervision tree underneath
+  both: heartbeat-monitored workers, crash/hang detection, restart
+  with capped exponential backoff, and poison-task quarantine, so one
+  segfaulted worker no longer aborts a months-long campaign;
 * :mod:`repro.parallel.service` — a persistent, item-at-a-time
   :class:`WorkerPool` over the same worker machinery, for callers
   (the :mod:`repro.serve` broker) whose work arrives as requests
@@ -33,9 +37,13 @@ from .pool import (
 )
 from .seeds import derive_seed
 from .service import WorkerPool
+from .supervisor import Poisoned, SupervisedPool, SupervisorConfig
 
 __all__ = [
     "ParallelConfig",
+    "Poisoned",
+    "SupervisedPool",
+    "SupervisorConfig",
     "WorkerPool",
     "chunk_indices",
     "derive_seed",

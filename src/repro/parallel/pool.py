@@ -56,17 +56,46 @@ class ParallelConfig:
         start_method: multiprocessing start method (None = ``fork``
             where available — cheap and inherits imports — else the
             platform default).
+        supervised: run multi-worker chunks under the supervision
+            tree (:mod:`repro.parallel.supervisor`) — crash/hang
+            detection, restart, quarantine. ``False`` keeps the bare
+            executor (bench comparison only; a worker crash then
+            aborts the whole run).
+        heartbeat_interval_s: worker heartbeat period (supervised).
+        heartbeat_timeout_s: silence budget before a worker is
+            declared hung (None disables; supervised only).
+        task_timeout_s: wall-clock budget per chunk before its worker
+            is killed and the chunk retried (None disables).
+        max_task_crashes: crash count at which a chunk is quarantined
+            as poison instead of retried.
     """
 
     workers: int = 1
     chunk_size: int | None = None
     start_method: str | None = None
+    supervised: bool = True
+    heartbeat_interval_s: float = 0.2
+    heartbeat_timeout_s: float | None = 30.0
+    task_timeout_s: float | None = None
+    max_task_crashes: int = 2
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1 or None")
+
+    def supervisor_config(self):
+        """The :class:`~repro.parallel.supervisor.SupervisorConfig`
+        equivalent of this config's supervision fields."""
+        from .supervisor import SupervisorConfig
+        return SupervisorConfig(
+            workers=self.workers,
+            start_method=self.start_method,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            heartbeat_timeout_s=self.heartbeat_timeout_s,
+            task_timeout_s=self.task_timeout_s,
+            max_task_crashes=self.max_task_crashes)
 
     def resolve_chunk_size(self, n_items: int) -> int:
         """The chunk size actually used for ``n_items`` items."""
@@ -165,7 +194,8 @@ def run_chunked(items: Sequence[Any],
                 payload: Any, *,
                 config: ParallelConfig | None = None,
                 on_chunk: Callable[[list[tuple[int, Any]]], None] | None
-                = None) -> list[Any]:
+                = None,
+                fault_plan=None) -> list[Any]:
     """Evaluate ``fn(payload, item)`` for every item, possibly in a pool.
 
     Args:
@@ -179,10 +209,17 @@ def run_chunked(items: Sequence[Any],
             needing deterministic *aggregate* state must rebuild it
             from accumulated results keyed by index (the campaign
             runner rebuilds its checkpoint this way).
+        fault_plan: optional
+            :class:`~repro.resilience.faults.ProcessFaultPlan`
+            executed inside supervised workers (chaos testing). Forces
+            the supervised pool path even at ``workers == 1``.
 
     Returns:
         ``[fn(payload, item) for item in items]`` — same values, any
-        scheduling.
+        scheduling. Items of a quarantined chunk (crashed its worker
+        past the threshold) come back as
+        :class:`~repro.parallel.supervisor.Poisoned` markers instead
+        of results; callers that never see crashes never see them.
     """
     cfg = config if config is not None else ParallelConfig()
     n = len(items)
@@ -194,7 +231,7 @@ def run_chunked(items: Sequence[Any],
     results: dict[int, Any] = {}
     with span("parallel.run", items=n, workers=cfg.workers,
               chunks=len(chunks), chunk_size=chunk_size):
-        if cfg.workers == 1:
+        if cfg.workers == 1 and fault_plan is None:
             for chunk in chunks:
                 t0 = time.perf_counter()
                 done = [(idx, fn(payload, item)) for idx, item in chunk]
@@ -202,6 +239,9 @@ def run_chunked(items: Sequence[Any],
                 results.update(done)
                 if on_chunk is not None:
                     on_chunk(done)
+        elif cfg.supervised or fault_plan is not None:
+            _run_supervised(chunks, fn, payload, cfg, results,
+                            on_chunk, fault_plan)
         else:
             _run_pool(chunks, fn, payload, cfg, results, on_chunk)
     return [results[i] for i in range(n)]
@@ -215,6 +255,37 @@ def _note_chunk(done: list[tuple[int, Any]], wall: float, *,
     histogram("parallel.chunk_seconds").observe(wall)
     log_event("parallel_chunk", items=len(done),
               wall_ms=round(wall * 1e3, 3), inline=inline)
+
+
+def _chunk_key(chunk: list[tuple[int, Any]]) -> str:
+    """Stable task key for a chunk — depends only on item indices, so
+    fault plans fire identically at any worker count."""
+    return f"chunk/{chunk[0][0]}-{chunk[-1][0]}"
+
+
+def _run_supervised(chunks, fn, payload, cfg: ParallelConfig,
+                    results: dict[int, Any], on_chunk,
+                    fault_plan) -> None:
+    from .supervisor import Poisoned, SupervisedPool
+    from ..errors import WorkerCrashError
+    with SupervisedPool(fn, payload, cfg.supervisor_config(),
+                        fault_plan=fault_plan) as pool:
+        futures = {pool.submit(chunk, key=_chunk_key(chunk)): chunk
+                   for chunk in chunks}
+        for fut, chunk in futures.items():
+            try:
+                done, wall = fut.result()
+            except WorkerCrashError as exc:
+                done = [(idx, Poisoned(key=exc.task_key,
+                                       crashes=exc.crashes,
+                                       reason=exc.reason))
+                        for idx, _ in chunk]
+                wall = 0.0
+            with span("parallel.chunk_merge", items=len(done)):
+                _note_chunk(done, wall, inline=False)
+                results.update(done)
+                if on_chunk is not None:
+                    on_chunk(done)
 
 
 def _run_pool(chunks, fn, payload, cfg: ParallelConfig,

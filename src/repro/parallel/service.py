@@ -4,9 +4,9 @@
 pool for the duration of one grid and tears it down. A request broker
 (:mod:`repro.serve`) has the opposite shape — the pool outlives any
 single request and items arrive one at a time — so :class:`WorkerPool`
-keeps a :class:`~concurrent.futures.ProcessPoolExecutor` warm behind a
-``submit(item) -> Future`` interface while preserving the two
-guarantees the batch engine established:
+keeps a :class:`~repro.parallel.supervisor.SupervisedPool` warm behind
+a ``submit(item) -> Future`` interface while preserving the guarantees
+the batch engine established:
 
 * the task function and payload are pinned per process through the
   same ``_init_worker`` initializer, so serve workers and campaign
@@ -14,36 +14,31 @@ guarantees the batch engine established:
 * every item repatriates the *delta* of its worker-side metrics
   registry (:func:`~repro.parallel.pool.snapshot_delta`), merged into
   the parent registry on completion, so served requests show up in
-  manifests exactly like campaign points do.
+  manifests exactly like campaign points do;
+* a worker crash no longer breaks the pool: supervision restarts the
+  worker, retries the item once, and only then fails that item's
+  future with a structured :class:`~repro.errors.WorkerCrashError` —
+  the pool keeps serving subsequent requests either way.
+
+Submitting to a closed pool raises
+:class:`~repro.errors.PoolClosedError` (the serve broker catches it
+and rebuilds the pool transparently; the CLI maps it to exit 75).
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future
 from typing import Any, Callable
 
-from ..errors import ConfigurationError
-from ..obs import get_registry, histogram
-from .pool import ParallelConfig, _init_worker, snapshot_delta
+from ..errors import ConfigurationError, PoolClosedError
+from ..obs import histogram
+from .supervisor import SupervisedPool, SupervisorConfig
 
 __all__ = ["WorkerPool"]
 
 
-def _run_item(item: Any) -> tuple[Any, dict[str, Any], float]:
-    """Evaluate one item in a worker; returns (result, metrics, wall)."""
-    from . import pool as _pool
-    assert _pool._WORKER_FN is not None, "worker not initialized"
-    registry = get_registry()
-    before = registry.snapshot()
-    t0 = time.perf_counter()
-    result = _pool._WORKER_FN(_pool._WORKER_PAYLOAD, item)
-    wall = time.perf_counter() - t0
-    return result, snapshot_delta(before, registry.snapshot()), wall
-
-
 class WorkerPool:
-    """A long-lived process pool evaluating one item per submission.
+    """A long-lived supervised pool evaluating one item per submission.
 
     Args:
         fn: module-level (picklable) task function
@@ -53,41 +48,66 @@ class WorkerPool:
         start_method: multiprocessing start method (None = ``fork``
             where available, matching :class:`~repro.parallel.pool.
             ParallelConfig`).
+        heartbeat_timeout_s: silence budget before a busy worker is
+            declared hung and restarted (None disables).
+        task_timeout_s: wall-clock budget per item before its worker
+            is killed and the item retried (None disables).
+        max_item_crashes: crash count at which an item's future fails
+            with :class:`~repro.errors.WorkerCrashError` instead of
+            being retried on a fresh worker.
+        fault_plan: optional process-level fault schedule executed in
+            the workers (chaos testing).
     """
 
     def __init__(self, fn: Callable[[Any, Any], Any], payload: Any, *,
                  workers: int = 1,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 heartbeat_timeout_s: float | None = 30.0,
+                 task_timeout_s: float | None = None,
+                 max_item_crashes: int = 2,
+                 fault_plan=None) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
-        ctx = ParallelConfig(workers=workers,
-                             start_method=start_method).context()
         self.workers = workers
-        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
-            max_workers=workers, mp_context=ctx,
-            initializer=_init_worker, initargs=(fn, payload))
+        self._seq = 0
+        self._pool: SupervisedPool | None = SupervisedPool(
+            fn, payload,
+            SupervisorConfig(workers=workers,
+                             start_method=start_method,
+                             heartbeat_timeout_s=heartbeat_timeout_s,
+                             task_timeout_s=task_timeout_s,
+                             max_task_crashes=max_item_crashes),
+            fault_plan=fault_plan)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._pool is None
 
     def submit(self, item: Any) -> "Future[Any]":
         """Schedule one item; the future resolves to ``fn``'s result.
 
         The worker's metrics delta is folded into the parent registry
         before the returned future resolves, so a caller observing the
-        result also observes its instruments.
+        result also observes its instruments. If the item crashes its
+        worker past the retry budget, the future fails with
+        :class:`~repro.errors.WorkerCrashError`; the pool itself stays
+        healthy.
         """
         if self._pool is None:
-            raise ConfigurationError("worker pool is closed")
-        inner = self._pool.submit(_run_item, item)
+            raise PoolClosedError()
+        self._seq += 1
+        inner = self._pool.submit([(0, item)], key=f"item/{self._seq}")
         outer: Future[Any] = Future()
 
         def _done(fut: "Future") -> None:
             try:
-                result, delta, wall = fut.result()
-            except BaseException as exc:  # worker died or task raised
+                done, wall = fut.result()
+            except BaseException as exc:  # crash quarantine or task error
                 outer.set_exception(exc)
                 return
-            get_registry().merge_snapshot(delta)
             histogram("parallel.item_seconds").observe(wall)
-            outer.set_result(result)
+            outer.set_result(done[0][1])
 
         inner.add_done_callback(_done)
         return outer
@@ -96,7 +116,7 @@ class WorkerPool:
         """Shut the pool down (idempotent)."""
         if self._pool is not None:
             pool, self._pool = self._pool, None
-            pool.shutdown(wait=wait, cancel_futures=not wait)
+            pool.close(wait=wait)
 
     def __enter__(self) -> "WorkerPool":
         return self

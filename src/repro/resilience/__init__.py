@@ -28,10 +28,12 @@ from typing import Callable
 from .degrade import DegradationLadder, LadderOutcome, freq_point_rungs
 from .faults import (
     FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultSpec,
     FaultyThermalModel,
+    ProcessFaultPlan,
     corrupt_power_maps,
     drop_vfs_steps,
     make_floating_island,
@@ -61,6 +63,8 @@ class ResilienceOptions:
 __all__ = [
     "ResilienceOptions",
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
+    "ProcessFaultPlan",
     "FaultSpec",
     "FaultEvent",
     "FaultInjector",

@@ -42,7 +42,19 @@ FAULT_KINDS: dict[str, str] = {
     "drop_vfs": "vfs",
     "timeout": "thermal",
     "noc_stall": "noc",
+    "worker_kill": "process",
+    "worker_hang": "process",
+    "slow_heartbeat": "process",
 }
+
+#: The kinds executed *inside a worker process* by the supervised pool
+#: (:mod:`repro.parallel.supervisor`) rather than inside the model
+#: pipeline: ``worker_kill`` SIGKILLs the worker mid-chunk,
+#: ``worker_hang`` wedges it (caught by the chunk wall-clock deadline),
+#: ``slow_heartbeat`` suppresses its heartbeats (caught by the
+#: heartbeat deadline).
+PROCESS_FAULT_KINDS: tuple[str, ...] = tuple(
+    k for k, site in FAULT_KINDS.items() if site == "process")
 
 
 @dataclass(frozen=True)
@@ -91,6 +103,70 @@ class FaultSpec:
         max_fires = (int(parts[2])
                      if len(parts) > 2 and parts[2] else None)
         return cls(kind=kind, probability=prob, max_fires=max_fires)
+
+
+@dataclass(frozen=True)
+class ProcessFaultPlan:
+    """Stateless, deterministic schedule of process-level faults.
+
+    Unlike :class:`FaultInjector` — whose per-site streams advance
+    with traffic and therefore live in exactly one process — the plan
+    is *stateless*: the decision for a task is a pure function of
+    ``(seed, fault kind, task key, attempt)``, so every worker, every
+    restart, and every worker count agrees on which chunks crash. That
+    is what makes poison quarantine reproducible: a chunk that crashes
+    at attempt 0 and 1 is quarantined on every run with the same seed
+    and chunk size, and every other point is byte-identical.
+
+    ``max_fires`` here bounds fires *per task*: a spec fires only on
+    attempts ``0 .. max_fires-1`` (given the probability draw), so
+    ``worker_kill:1:1`` models a transient crash that succeeds on the
+    supervisor's retry, and ``worker_kill:1:2`` (with the default
+    quarantine threshold of 2) deterministically poisons its chunk.
+
+    Attributes:
+        specs: process-site fault families (see
+            :data:`PROCESS_FAULT_KINDS`).
+        seed: master seed for the per-(kind, task, attempt) draws.
+        stall_s: how long a ``slow_heartbeat`` fault mutes the
+            worker's heartbeats — keep it above the supervisor's
+            heartbeat deadline or the fault is a no-op.
+        enabled: False makes every draw a no-op.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    stall_s: float = 60.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if spec.site != "process":
+                raise ConfigurationError(
+                    f"ProcessFaultPlan only schedules process faults; "
+                    f"{spec.kind!r} perturbs site {spec.site!r}")
+        if self.stall_s <= 0:
+            raise ConfigurationError("stall_s must be > 0")
+
+    def draw(self, task_key: str, attempt: int) -> str | None:
+        """The fault kind (if any) firing for this attempt of a task.
+
+        Called in the worker just before it evaluates the chunk; the
+        supervisor passes the task's crash count as ``attempt``.
+        """
+        if not self.enabled:
+            return None
+        for spec in self.specs:
+            if spec.max_fires is not None and attempt >= spec.max_fires:
+                continue
+            # str seeds hash deterministically (SHA-512 path), exactly
+            # like FaultInjector's per-site streams.
+            rng = random.Random(
+                f"{self.seed}:process:{spec.kind}:{task_key}:{attempt}")
+            if rng.random() < spec.probability:
+                return spec.kind
+        return None
 
 
 @dataclass(frozen=True)

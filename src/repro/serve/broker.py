@@ -46,7 +46,9 @@ from ..errors import (
     ConfigurationError,
     DeadlineExceededError,
     OverloadedError,
+    PoolClosedError,
     ServeError,
+    WorkerCrashError,
 )
 from ..obs import (
     build_manifest,
@@ -141,14 +143,9 @@ class Broker:
         self.cache = ResultCache(self.config.cache_capacity,
                                  self.config.cache_ttl_s, clock=clock)
         self._pool = None
+        self._pool_lock = threading.Lock()
         if self.config.use_processes:
-            from ..parallel import WorkerPool
-            policy = self.resilience.retry_policy
-            self._pool = WorkerPool(
-                pool_task,
-                PoolPayload(retry_policy=policy,
-                            allow_degraded=self.resilience.allow_degraded),
-                workers=self.config.workers)
+            self._pool = self._make_pool()
         self._threads = [
             threading.Thread(target=self._dispatch_loop,
                              name=f"serve-dispatch-{i}", daemon=True)
@@ -156,6 +153,36 @@ class Broker:
         ]
         for t in self._threads:
             t.start()
+
+    def _make_pool(self):
+        """Build the persistent (supervised) evaluation pool."""
+        from ..parallel import WorkerPool
+        return WorkerPool(
+            pool_task,
+            PoolPayload(retry_policy=self.resilience.retry_policy,
+                        allow_degraded=self.resilience.allow_degraded),
+            workers=self.config.workers)
+
+    def _pool_submit(self, item):
+        """Submit to the pool, transparently rebuilding a dead one.
+
+        The supervised pool survives worker crashes on its own; the
+        only way it refuses work is after ``close()`` (shutdown race,
+        or an operator recycling it out of band). One rebuild attempt
+        keeps the broker serving through that; a second refusal is a
+        real shutdown and propagates.
+        """
+        with self._pool_lock:
+            try:
+                return self._pool.submit(item)
+            except PoolClosedError:
+                if self._closed:
+                    raise
+                counter("serve.pool_rebuilds").inc()
+                log_event("serve_pool_rebuilt",
+                          workers=self.config.workers, level=0)
+                self._pool = self._make_pool()
+                return self._pool.submit(item)
 
     # -- submission ---------------------------------------------------------
 
@@ -283,7 +310,7 @@ class Broker:
         try:
             with span("serve.request", key=job.key, job_id=job.id):
                 if self._pool is not None:
-                    outcome = self._pool.submit(
+                    outcome = self._pool_submit(
                         job.request.spec.to_dict()).result()
                 elif self._runner is not None:
                     outcome = self._runner(job.request.spec)
@@ -297,6 +324,8 @@ class Broker:
                 self._active.pop(job.key, None)
                 self._cv.notify_all()
             counter("serve.failed_total").inc()
+            if isinstance(exc, WorkerCrashError):
+                counter("serve.worker_crashes").inc()
             job.fail(exc, self._clock())
             log_event("serve_failed", job_id=job.id, key=job.key,
                       error=type(exc).__name__, message=str(exc))
@@ -416,6 +445,8 @@ class Broker:
             "expired_total": _c("serve.expired_total"),
             "cancelled_total": _c("serve.cancelled_total"),
             "degraded_total": _c("serve.degraded_total"),
+            "worker_crashes_total": _c("serve.worker_crashes"),
+            "pool_rebuilds_total": _c("serve.pool_rebuilds"),
             "cache": self.cache.stats(),
         }
 

@@ -15,8 +15,11 @@ Route                       Meaning
 ``GET /result/<id>``        ``200`` result JSON when done (plus rung /
                             degraded provenance); ``202`` while
                             pending (``?timeout_s=`` long-polls);
-                            ``504`` expired; ``500`` failed;
-                            ``404`` unknown id.
+                            ``504`` expired; ``503`` the request
+                            crashed its worker (structured
+                            ``worker_crash`` payload; the broker keeps
+                            serving); ``500`` failed; ``404`` unknown
+                            id.
 ``GET /status/<id>``        job state + full event log.
 ``GET /stats``              broker statistics (counters, cache).
 ``GET /healthz``            liveness probe.
@@ -37,7 +40,12 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from ..errors import ConfigurationError, OverloadedError, ServeError
+from ..errors import (
+    ConfigurationError,
+    OverloadedError,
+    ServeError,
+    WorkerCrashError,
+)
 from .broker import Broker
 from .client import ServeClient, result_to_dict
 
@@ -104,7 +112,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(202, {"job_id": job_id, "state": job.state})
             return
         except Exception as exc:
-            code = 504 if job.state == "expired" else 500
+            if job.state == "expired":
+                code = 504
+            elif isinstance(exc, WorkerCrashError):
+                code = 503      # request crashed its worker; broker is fine
+            else:
+                code = 500
             payload = (exc.to_dict() if hasattr(exc, "to_dict")
                        else {"error": type(exc).__name__,
                              "message": str(exc)})

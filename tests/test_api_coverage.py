@@ -38,7 +38,8 @@ def test_build_parser_lists_all_commands():
                if hasattr(a, "choices") and a.choices)
     assert set(sub.choices) == {
         "freq", "sweep", "npb", "maps", "pue", "headline", "report",
-        "pareto", "spec", "robustness", "campaign", "serve", "submit"}
+        "pareto", "spec", "robustness", "campaign", "chaos", "serve",
+        "submit"}
 
 
 def test_get_technology():

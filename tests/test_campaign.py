@@ -275,22 +275,33 @@ class TestCampaignRuns:
 
 
 class TestCheckpointIO:
-    def test_version_mismatch_rejected(self, tmp_path, fast_params):
+    def test_version_mismatch_recovers(self, tmp_path, fast_params):
+        """An incompatible checkpoint is rotated aside, not fatal."""
         ck = tmp_path / "c.json"
         ck.write_text(json.dumps({"version": 99, "points": {},
                                   "ledger": []}))
         pts = frequency_grid("low-power-cmp", (2,), ("water",))
-        with pytest.raises(CheckpointError, match="version"):
-            CampaignRunner(pts, resilience=options(), checkpoint_path=ck,
-                           params=fast_params).run()
+        result = CampaignRunner(pts, resilience=options(),
+                                checkpoint_path=ck,
+                                params=fast_params).run()
+        assert result.summary()["ok"] == 1
+        assert result.evaluated == 1           # nothing resumable
+        corrupt = ck.with_name(ck.name + ".corrupt")
+        assert json.loads(corrupt.read_text())["version"] == 99
 
-    def test_corrupt_json_rejected(self, tmp_path, fast_params):
+    def test_corrupt_json_recovers(self, tmp_path, fast_params):
+        """Unparseable bytes are quarantined and the run proceeds."""
         ck = tmp_path / "c.json"
         ck.write_text("{not json")
         pts = frequency_grid("low-power-cmp", (2,), ("water",))
-        with pytest.raises(CheckpointError, match="cannot read"):
-            CampaignRunner(pts, resilience=options(), checkpoint_path=ck,
-                           params=fast_params).run()
+        result = CampaignRunner(pts, resilience=options(),
+                                checkpoint_path=ck,
+                                params=fast_params).run()
+        assert result.summary()["ok"] == 1
+        assert ck.with_name(ck.name + ".corrupt").exists()
+        # the rewritten checkpoint is valid again
+        from repro.core.campaign import verify_checkpoint
+        assert verify_checkpoint(ck)["checksum_ok"] is True
 
     def test_record_for_missing_point(self, fast_params):
         pts = frequency_grid("low-power-cmp", (2,), ("water",))
