@@ -36,11 +36,21 @@ Wall-clock speedups from extra workers obviously require extra cores;
 ``cpu_count`` is recorded so a 1-core container's numbers are not
 mistaken for a regression.
 
+``--compare BASELINE.json`` turns any bench into a **perf-regression
+gate**: after writing the fresh result it diffs every timing metric
+both documents share (campaign mode seconds, serve wall/percentile
+latencies, supervisor seconds) and exits nonzero when any current
+value exceeds baseline by more than ``--threshold`` (default 0.25,
+i.e. +25% — wide enough for shared-CI jitter, narrow enough to catch a
+real slowdown). ``--report-only`` prints the same table but never
+fails the run (how CI introduces a new gate before trusting it).
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_to_json.py \
         [--out BENCH_parallel.json] [--workers 2 4] [--max-chips 15] \
-        [--grids fig07 fig08] [--repeat 1]
+        [--grids fig07 fig08] [--repeat 1] \
+        [--compare BENCH_parallel.json [--threshold 0.25] [--report-only]]
     PYTHONPATH=src python scripts/bench_to_json.py --bench serve \
         [--out BENCH_serve.json] [--requests 200] [--unique 16] \
         [--serve-workers 2] [--client-threads 8]
@@ -371,6 +381,92 @@ def run_supervisor(args) -> int:
     return 0 if ok else 1
 
 
+def _flatten_timings(doc: dict) -> dict[str, float]:
+    """Pull the comparable timing metrics out of a bench document.
+
+    Keys are dotted paths; only wall-clock-style metrics where *larger
+    is worse* are included, so the comparison is a plain ratio. Counts,
+    rates, and boolean assertions are the bench's own pass/fail
+    business and stay out of the regression gate.
+    """
+    metrics: dict[str, float] = {}
+    bench = doc.get("bench", "parallel_campaign")
+    if bench == "parallel_campaign":
+        for grid, g in doc.get("grids", {}).items():
+            for mode, secs in g.get("seconds", {}).items():
+                metrics[f"grids.{grid}.seconds.{mode}"] = float(secs)
+    elif bench == "serve":
+        metrics["wall_s"] = float(doc.get("wall_s", 0.0))
+        for q, v in doc.get("latency_s", {}).items():
+            metrics[f"latency_s.{q}"] = float(v)
+    elif bench == "supervisor":
+        for mode, secs in doc.get("seconds", {}).items():
+            metrics[f"seconds.{mode}"] = float(secs)
+    return {k: v for k, v in metrics.items() if v > 0}
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        threshold: float) -> tuple[int, list[dict]]:
+    """Diff two bench documents; nonzero when a metric regressed.
+
+    Returns ``(rc, rows)`` where each row is ``{"metric", "baseline",
+    "current", "ratio", "regressed"}``. Metrics present in only one
+    document are skipped (benches evolve; the gate compares what both
+    runs measured). ``rc`` is 1 iff any shared metric's current/base
+    ratio exceeds ``1 + threshold``.
+    """
+    cur = _flatten_timings(current)
+    base = _flatten_timings(baseline)
+    rows: list[dict] = []
+    for name in sorted(set(cur) & set(base)):
+        ratio = cur[name] / base[name]
+        rows.append({
+            "metric": name,
+            "baseline": base[name],
+            "current": cur[name],
+            "ratio": ratio,
+            "regressed": ratio > 1.0 + threshold,
+        })
+    return (1 if any(r["regressed"] for r in rows) else 0), rows
+
+
+def _run_compare(args) -> int:
+    """The --compare step: fresh result (just written) vs. baseline."""
+    current = json.loads(Path(args.out).read_text())
+    baseline = json.loads(Path(args.compare).read_text())
+    if baseline.get("bench", "parallel_campaign") != \
+            current.get("bench", "parallel_campaign"):
+        print(f"compare: baseline {args.compare} is a "
+              f"{baseline.get('bench')!r} bench, current is "
+              f"{current.get('bench')!r} — nothing comparable",
+              file=sys.stderr)
+        return 0 if args.report_only else 1
+    rc, rows = compare_to_baseline(current, baseline, args.threshold)
+    if not rows:
+        print(f"compare: no shared timing metrics with {args.compare}")
+        return 0
+    width = max(len(r["metric"]) for r in rows)
+    print(f"compare vs {args.compare} "
+          f"(threshold +{args.threshold * 100:.0f}%):")
+    for r in rows:
+        verdict = "REGRESSED" if r["regressed"] else "ok"
+        print(f"  {r['metric']:<{width}}  "
+              f"base {r['baseline']:>9.4f}s  "
+              f"now {r['current']:>9.4f}s  "
+              f"x{r['ratio']:.3f}  {verdict}")
+    n_bad = sum(r["regressed"] for r in rows)
+    if n_bad:
+        print(f"compare: {n_bad}/{len(rows)} metric(s) regressed past "
+              f"+{args.threshold * 100:.0f}%"
+              + (" (report-only; not failing)" if args.report_only
+                 else ""),
+              file=sys.stderr)
+    else:
+        print(f"compare: all {len(rows)} shared metrics within "
+              f"+{args.threshold * 100:.0f}% of baseline")
+    return 0 if args.report_only else rc
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench", choices=("parallel", "serve", "supervisor"),
@@ -395,35 +491,49 @@ def main(argv=None) -> int:
                     help="serve: broker admission bound")
     ap.add_argument("--spin", type=int, default=300_000,
                     help="supervisor: busy-loop iterations per item")
+    ap.add_argument("--compare", default=None, metavar="BASELINE.json",
+                    help="after the run, diff timing metrics against "
+                         "this baseline bench JSON and fail past "
+                         "--threshold")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional slowdown vs. baseline "
+                         "before --compare fails (0.25 = +25%%)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but never fail on it")
     args = ap.parse_args(argv)
     if args.out is None:
         args.out = f"BENCH_{args.bench}.json"
 
     if args.bench == "serve":
-        return run_serve(args)
-    if args.bench == "supervisor":
-        return run_supervisor(args)
+        rc = run_serve(args)
+    elif args.bench == "supervisor":
+        rc = run_supervisor(args)
+    else:
+        out = {
+            "bench": "parallel_campaign",
+            "cpu_count": os.cpu_count(),
+            "workers": args.workers,
+            "grids": {},
+        }
+        for grid in args.grids:
+            out["grids"][grid] = bench_grid(
+                grid, GRIDS[grid], args.max_chips, args.workers,
+                args.repeat)
+            g = out["grids"][grid]
+            print(f"{grid} ({g['chip']}, {g['points']} points): "
+                  + ", ".join(f"{k}={v:.3f}s"
+                              for k, v in g["seconds"].items())
+                  + f", checkpoint identical: "
+                    f"{g['checkpoint_identical_to_serial']}")
+        Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+        print(f"wrote {args.out}")
+        ok = all(g["checkpoint_identical_to_serial"]
+                 for g in out["grids"].values())
+        rc = 0 if ok else 1
 
-    out = {
-        "bench": "parallel_campaign",
-        "cpu_count": os.cpu_count(),
-        "workers": args.workers,
-        "grids": {},
-    }
-    for grid in args.grids:
-        out["grids"][grid] = bench_grid(
-            grid, GRIDS[grid], args.max_chips, args.workers, args.repeat)
-        g = out["grids"][grid]
-        print(f"{grid} ({g['chip']}, {g['points']} points): "
-              + ", ".join(f"{k}={v:.3f}s"
-                          for k, v in g["seconds"].items())
-              + f", checkpoint identical: "
-                f"{g['checkpoint_identical_to_serial']}")
-    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
-    print(f"wrote {args.out}")
-    ok = all(g["checkpoint_identical_to_serial"]
-             for g in out["grids"].values())
-    return 0 if ok else 1
+    if args.compare:
+        rc = rc or _run_compare(args)
+    return rc
 
 
 if __name__ == "__main__":

@@ -16,7 +16,11 @@ Commands:
   quarantines poison points, and leaves a verifiable checkpoint.
 * ``serve`` — HTTP request-serving endpoint (coalescing, result
   cache, admission control; see ``docs/serving.md``).
-* ``submit`` — submit a JSON spec to a running ``repro serve``.
+* ``submit`` — submit a JSON spec to a running ``repro serve``; with
+  ``--trace-out`` it also turns on server-side tracing and merges the
+  broker/worker spans into one cross-process Chrome trace.
+* ``top`` — live serving telemetry: polls ``GET /stats`` and renders
+  the rolling-window SLO summary (p50/p99 per stage, event rates).
 
 Ctrl-C anywhere exits 130 after a clean wrap-up (campaigns keep their
 checkpoint; ``serve`` drains in-flight requests) instead of dumping a
@@ -31,11 +35,17 @@ after the subcommand name):
 * ``--metrics-out PATH`` — write the metrics-registry snapshot as JSON;
 * ``-v`` / ``-vv`` — structured JSON logging on stderr (``-vv`` also
   streams every finished span).
+
+Both output files are flushed exactly once no matter how the process
+leaves: the normal return path, Ctrl-C (130), and plain interpreter
+exit all funnel through one idempotent ``atexit``-registered flusher,
+so an interrupted campaign still leaves its trace and metrics behind.
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
 import sys
 
 from .analysis import format_mapping, format_table
@@ -343,6 +353,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_s=args.cache_ttl,
         use_processes=args.processes,
         default_deadline_s=args.default_deadline,
+        slo_window_s=args.slo_window,
     )
     options = ResilienceOptions(
         retry_policy=RetryPolicy(max_attempts=args.max_retries + 1,
@@ -354,7 +365,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"repro serve: listening on {httpd.url} "
           f"(workers {config.workers}, queue bound {config.max_queue}, "
           f"cache {config.cache_capacity}"
-          f"{f' ttl {config.cache_ttl_s:g}s' if config.cache_ttl_s else ''})",
+          f"{f' ttl {config.cache_ttl_s:g}s' if config.cache_ttl_s else ''}; "
+          f"Prometheus scrape at {httpd.url}/metrics, "
+          f"`repro top --url {httpd.url}` for live SLOs)",
           flush=True)
     rc = 0
     try:
@@ -378,10 +391,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return rc
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    import json
+def _adopt_server_trace(client) -> None:
+    """Merge the server's spans into the local tracer (best-effort).
 
-    from .errors import OverloadedError, ServeError
+    ``repro submit --trace-out`` wants ONE Chrome trace showing the
+    whole request path — client, broker process, and every pool worker
+    pid. The broker already repatriates worker spans; this pulls its
+    ``GET /trace`` document and adopts those spans locally, so the
+    normal CLI flush writes the merged picture. Network trouble here
+    never fails the submit: the result mattered, the trace is gravy.
+    """
+    from .obs import get_tracer, spans_from_chrome
+    try:
+        spans = spans_from_chrome(client.trace())
+    except Exception:
+        return
+    if spans:
+        get_tracer().adopt_spans(spans)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
     from .serve.http import HttpServeClient
 
     client = HttpServeClient(args.url, timeout_s=args.timeout + 10)
@@ -392,6 +421,24 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         client.shutdown()
         print(f"shutdown requested at {args.url}")
         return 0
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        try:
+            client.set_tracing(True)
+        except Exception:
+            pass        # unreachable server is reported by submit below
+    try:
+        return _submit_and_report(args, client)
+    finally:
+        if trace_out is not None:
+            _adopt_server_trace(client)
+
+
+def _submit_and_report(args: argparse.Namespace, client) -> int:
+    import json
+
+    from .errors import OverloadedError, ServeError
+
     if args.json is None:
         print("error: provide a spec JSON (or --shutdown)",
               file=sys.stderr)
@@ -443,6 +490,69 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             ["benchmark", "time (ms)"],
             [[k.upper(), v * 1e3] for k, v in r["npb_time_s"].items()]))
     return 0
+
+
+def _render_top_frame(url: str, stats: dict) -> None:
+    """One `repro top` frame: lifetime counters + the windowed SLOs."""
+    slo = stats.get("slo", {})
+    print(f"repro top — {url}  "
+          f"(uptime {stats.get('uptime_s', 0.0):.0f}s, "
+          f"window {slo.get('window_s', 0):g}s)")
+    print(f"queued {stats['queued']}  in-flight {stats['in_flight']}  "
+          f"requests {stats['requests_total']}  "
+          f"completed {stats['completed_total']}  "
+          f"coalesced {stats['coalesced_total']}  "
+          f"shed {stats['shed_total']}  failed {stats['failed_total']}")
+    cache = stats.get("cache", {})
+    print(f"cache: hits {cache.get('hits', 0)}  "
+          f"misses {cache.get('misses', 0)}  "
+          f"size {cache.get('size', 0)}/{cache.get('capacity', 0)}  "
+          f"evictions {cache.get('evictions', 0)}")
+    stages = slo.get("stages", {})
+    if stages:
+        print(format_table(
+            ["stage", "n", "p50 ms", "p99 ms", "max ms", "mean ms"],
+            [[name, agg["count"], agg["p50"] * 1e3, agg["p99"] * 1e3,
+              agg["max"] * 1e3, agg["mean"] * 1e3]
+             for name, agg in sorted(stages.items())],
+            float_fmt="{:.1f}"))
+    events = slo.get("events", {})
+    rates = [f"{name} {agg['per_s']:.2f}/s"
+             for name, agg in sorted(events.items()) if agg["count"]]
+    if rates:
+        print("window rates: " + "  ".join(rates))
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+    import urllib.error
+
+    from .serve.http import HttpServeClient
+
+    client = HttpServeClient(args.url, timeout_s=5.0)
+    iterations = 1 if args.once else args.iterations
+    frames = 0
+    try:
+        while True:
+            try:
+                stats = client.stats()
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"error: no server at {args.url} ({exc})",
+                      file=sys.stderr)
+                return 1
+            if frames and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")   # clear + home, like top(1)
+            elif frames:
+                print()
+            _render_top_frame(args.url, stats)
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        # leaving the dashboard is the normal way out, like watch(1)
+        print()
+        return 0
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -660,6 +770,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="max seconds to finish outstanding work on "
                         "shutdown (then queued jobs are cancelled)")
+    p.add_argument("--slo-window", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="rolling window for the /stats SLO summary and "
+                        "serve.slo.* gauges (p50/p99, event rates)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -685,6 +799,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "submitting")
     p.set_defaults(func=_cmd_submit)
 
+    p = sub.add_parser(
+        "top",
+        help="live serving telemetry: poll GET /stats and render the "
+             "rolling-window SLO summary")
+    p.add_argument("--url", default="http://127.0.0.1:8023",
+                   help="server base URL")
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between polls")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N frames (default: until Ctrl-C)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scripts, CI)")
+    p.set_defaults(func=_cmd_top)
+
     p = sub.add_parser("robustness",
                        help="conclusion survival over the calibration "
                             "band")
@@ -701,6 +830,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _TelemetryFlusher:
+    """Idempotent ``--trace-out`` / ``--metrics-out`` writer.
+
+    ``main`` registers one instance with :mod:`atexit` AND calls it
+    from its ``finally`` block. Whichever fires first wins; the other
+    is a no-op. That covers every exit the interpreter can make — the
+    normal return, Ctrl-C/SIGINT (KeyboardInterrupt unwinds through
+    the ``finally``), and ``sys.exit`` from anywhere deeper — without
+    ever writing the files twice.
+    """
+
+    def __init__(self, trace_out: str | None,
+                 metrics_out: str | None) -> None:
+        self.trace_out = trace_out
+        self.metrics_out = metrics_out
+        self._done = False
+
+    def __call__(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        if self.trace_out is not None:
+            from .obs import get_tracer
+            tracer = get_tracer()
+            if str(self.trace_out).endswith(".jsonl"):
+                tracer.write_jsonl(self.trace_out)
+            else:
+                tracer.write_chrome_trace(self.trace_out)
+        if self.metrics_out is not None:
+            from .obs import get_registry
+            get_registry().write_json(self.metrics_out)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the exit code."""
     args = build_parser().parse_args(argv)
@@ -709,6 +871,10 @@ def main(argv: list[str] | None = None) -> int:
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     verbose = getattr(args, "verbose", 0) or 0
+
+    flusher = _TelemetryFlusher(trace_out, metrics_out)
+    if trace_out is not None or metrics_out is not None:
+        atexit.register(flusher)
 
     tracer = get_tracer()
     was_enabled = tracer.enabled
@@ -746,14 +912,8 @@ def main(argv: list[str] | None = None) -> int:
                       file=sys.stderr)
         rc = 130
     finally:
-        if trace_out is not None:
-            if str(trace_out).endswith(".jsonl"):
-                tracer.write_jsonl(trace_out)
-            else:
-                tracer.write_chrome_trace(trace_out)
-        if metrics_out is not None:
-            from .obs import get_registry
-            get_registry().write_json(metrics_out)
+        flusher()
+        atexit.unregister(flusher)
         if verbose:
             set_verbosity(0)
         tracer.on_close = prior_on_close

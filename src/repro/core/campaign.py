@@ -45,6 +45,7 @@ from ..obs import (
     config_hash,
     counter,
     get_registry,
+    get_tracer,
     log_event,
     span,
     write_manifest,
@@ -446,14 +447,31 @@ class _PointTimeout:
         self._pool = None
 
     def call(self, fn: Callable, *args):
-        """Run ``fn(*args)``, bounding how long we wait for it."""
+        """Run ``fn(*args)``, bounding how long we wait for it.
+
+        The helper thread inherits the calling thread's trace context
+        (remote parent), so spans opened inside a timed evaluation stay
+        attached to the enclosing ``campaign.point`` instead of
+        starting orphan roots on the worker thread.
+        """
         if self.timeout_s is None:
             return fn(*args)
         from concurrent.futures import ThreadPoolExecutor
         from concurrent.futures import TimeoutError as FutureTimeout
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=1)
-        fut = self._pool.submit(fn, *args)
+        tracer = get_tracer()
+        ctx = tracer.propagation_context()
+        if ctx is None:
+            fut = self._pool.submit(fn, *args)
+        else:
+            def _with_trace_ctx():
+                tracer.set_remote_parent(ctx.get("parent_id"))
+                try:
+                    return fn(*args)
+                finally:
+                    tracer.set_remote_parent(None)
+            fut = self._pool.submit(_with_trace_ctx)
         try:
             return fut.result(timeout=self.timeout_s)
         except FutureTimeout:

@@ -13,6 +13,14 @@ pipeline packages):
   version, platform, wall time, metrics snapshot) with a dependency-
   free schema validator.
 
+Two serving-facing companions round it out:
+:mod:`repro.obs.promexp` renders the registry as Prometheus text
+exposition (and lints it), and :mod:`repro.obs.slo` aggregates
+rolling-window p50/p99 latencies and event rates for ``/stats`` and
+``repro top``. The tracer crosses process boundaries: pid-namespaced
+span ids, a shippable propagation context, and span repatriation from
+pool workers (see :mod:`repro.obs.trace`).
+
 The tracer is disabled by default and its disabled path is a measured
 near-no-op; metrics are always on (an increment is an int add). The
 CLI surfaces everything via global ``--trace-out``, ``--metrics-out``,
@@ -41,24 +49,34 @@ from .metrics import (
     histogram,
     log_spaced_edges,
 )
+from .promexp import (
+    lint_prometheus_text,
+    prometheus_metric_name,
+    to_prometheus_text,
+)
+from .slo import SloAggregator
 from .slog import get_verbosity, log_event, set_verbosity
 from .trace import (
     NULL_SPAN,
+    SPAN_PID_BITS,
     Span,
     Tracer,
     get_tracer,
     span,
     spans_from_chrome,
+    split_span_id,
 )
 
 __all__ = [
     "MANIFEST_SCHEMA",
     "MANIFEST_VERSION",
     "NULL_SPAN",
+    "SPAN_PID_BITS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SloAggregator",
     "Span",
     "Tracer",
     "build_manifest",
@@ -69,11 +87,15 @@ __all__ = [
     "get_tracer",
     "get_verbosity",
     "histogram",
+    "lint_prometheus_text",
     "log_event",
     "log_spaced_edges",
+    "prometheus_metric_name",
     "set_verbosity",
     "span",
     "spans_from_chrome",
+    "split_span_id",
+    "to_prometheus_text",
     "validate_manifest",
     "write_manifest",
 ]

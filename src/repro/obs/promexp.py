@@ -1,0 +1,192 @@
+"""Prometheus text exposition for the metrics registry (plus a linter).
+
+:func:`to_prometheus_text` renders a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` as Prometheus
+`text exposition format 0.0.4` — the format every Prometheus server,
+``promtool``, and half the observability ecosystem scrape:
+
+* counters and gauges become single samples;
+* histograms become the canonical triple — **cumulative**
+  ``<name>_bucket{le="..."}`` series (the registry stores per-bucket
+  counts; Prometheus wants running totals), a terminal
+  ``le="+Inf"`` bucket, and ``<name>_sum`` / ``<name>_count``;
+* dotted instrument names (``serve.requests_total``) are sanitized to
+  the Prometheus grammar (``repro_serve_requests_total``) under a
+  ``repro_`` namespace prefix.
+
+:func:`lint_prometheus_text` is the validating inverse-half: it checks
+the grammar line by line plus the histogram invariants (buckets
+cumulative and non-decreasing, ``+Inf`` equal to ``_count``), raising
+:class:`~repro.errors.ConfigurationError` with the offending line. The
+CI serve-smoke job scrapes a live ``/metrics`` and runs it, so a
+malformed exposition fails the build rather than a scrape in the
+field.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "lint_prometheus_text",
+    "prometheus_metric_name",
+    "to_prometheus_text",
+]
+
+#: Namespace every exported instrument lands under.
+PROMETHEUS_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"            # metric name
+    r"(\{[^{}]*\})?"                          # optional labels
+    r" "                                      # single space
+    r"(-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$")
+
+_LE_RE = re.compile(r'le="([^"]+)"')
+
+_VALID_TYPES = frozenset(
+    {"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def prometheus_metric_name(name: str) -> str:
+    """Map a dotted instrument name onto the Prometheus grammar.
+
+    ``serve.requests_total`` -> ``repro_serve_requests_total``; any
+    character outside ``[a-zA-Z0-9_:]`` becomes ``_``.
+    """
+    return PROMETHEUS_PREFIX + _INVALID_CHARS.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    """A sample value in exposition syntax (inf/nan spelled their way)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def to_prometheus_text(snapshot: dict[str, Any]) -> str:
+    """Render a registry snapshot as Prometheus text exposition 0.0.4.
+
+    Args:
+        snapshot: :meth:`MetricsRegistry.snapshot` output —
+            ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+
+    Returns:
+        The exposition document (trailing newline included), ready to
+        serve as ``text/plain; version=0.0.4``.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        pname = prometheus_metric_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        pname = prometheus_metric_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        pname = prometheus_metric_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        edges = h["edges"]
+        counts = h["counts"]          # len(edges)+1; last is overflow
+        cumulative = 0
+        for edge, n in zip(edges, counts):
+            cumulative += n
+            lines.append(
+                f'{pname}_bucket{{le="{edge:.9g}"}} {cumulative}')
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {h["count"]}')
+        lines.append(f"{pname}_sum {_fmt(float(h['sum']))}")
+        lines.append(f"{pname}_count {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def lint_prometheus_text(text: str) -> dict[str, int]:
+    """Validate a Prometheus text exposition document.
+
+    Checks the line grammar (comments, ``# TYPE`` declarations, sample
+    syntax), that no metric is re-declared, and the histogram
+    invariants: ``_bucket`` series cumulative with strictly increasing
+    ``le`` edges, a terminal ``+Inf`` bucket, and
+    ``bucket(+Inf) == <name>_count``.
+
+    Returns:
+        ``{"metrics": <declared>, "samples": <sample lines>}``.
+
+    Raises:
+        ConfigurationError: first violation found, with line number.
+    """
+    types: dict[str, str] = {}
+    samples = 0
+    buckets: dict[str, list[tuple[float, int]]] = {}
+    hist_counts: dict[str, int] = {}
+
+    def die(lineno: int, why: str) -> None:
+        raise ConfigurationError(
+            f"prometheus lint: line {lineno}: {why}")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    die(lineno, f"malformed TYPE line: {line!r}")
+                _, _, mname, mtype = parts
+                if mtype not in _VALID_TYPES:
+                    die(lineno, f"unknown metric type {mtype!r}")
+                if mname in types:
+                    die(lineno, f"duplicate TYPE for {mname!r}")
+                types[mname] = mtype
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            die(lineno, f"malformed sample line: {line!r}")
+        samples += 1
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) \
+                    and types.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            die(lineno, f"sample for undeclared metric {name!r}")
+        if types[base] == "histogram":
+            if name == base + "_bucket":
+                if not labels or not _LE_RE.search(labels):
+                    die(lineno, f"bucket sample missing le label: "
+                                f"{line!r}")
+                le = _LE_RE.search(labels).group(1)
+                edge = math.inf if le == "+Inf" else float(le)
+                buckets.setdefault(base, []).append(
+                    (edge, int(float(value))))
+            elif name == base + "_count":
+                hist_counts[base] = int(float(value))
+            elif name != base + "_sum":
+                die(lineno, f"unexpected histogram sample {name!r}")
+    for base, series in buckets.items():
+        prev_edge, prev_n = -math.inf, 0
+        for edge, n in series:
+            if edge <= prev_edge:
+                die(0, f"{base}: bucket le={edge!r} not increasing")
+            if n < prev_n:
+                die(0, f"{base}: bucket counts not cumulative "
+                       f"({n} after {prev_n})")
+            prev_edge, prev_n = edge, n
+        if not series or not math.isinf(series[-1][0]):
+            die(0, f"{base}: missing terminal +Inf bucket")
+        if base in hist_counts and series[-1][1] != hist_counts[base]:
+            die(0, f"{base}: +Inf bucket {series[-1][1]} != _count "
+                   f"{hist_counts[base]}")
+    return {"metrics": len(types), "samples": samples}

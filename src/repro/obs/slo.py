@@ -1,0 +1,127 @@
+"""Rolling-window SLO aggregation for the serving layer.
+
+The metrics registry answers *lifetime* questions — totals since the
+process started. An operator watching a live server asks *windowed*
+ones: what is the p99 latency **right now**, what fraction of the last
+minute's requests were shed? :class:`SloAggregator` keeps bounded
+per-stage sample deques and per-event tick deques, prunes everything
+older than the window on access, and summarizes to a JSON-ready dict.
+
+It is deliberately tiny and dependency-free: percentile is
+nearest-rank over the (bounded) window, rates are count-over-window.
+The broker owns one, feeds it from the dispatch/evaluate path, and
+surfaces :meth:`SloAggregator.summary` through ``GET /stats`` (the
+``"slo"`` section rendered by ``repro top``) and mirrors it into
+``serve.slo.*`` gauges for the ``/metrics`` Prometheus exposition.
+
+The clock is injectable (the broker hands its own ``clock`` down), so
+deadline-style tests drive the window deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+
+__all__ = ["SloAggregator"]
+
+
+def _percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_vals)))
+    return sorted_vals[min(rank, len(sorted_vals)) - 1]
+
+
+class SloAggregator:
+    """Windowed per-stage latency percentiles and event rates.
+
+    Args:
+        window_s: how far back observations count (seconds).
+        clock: monotonic time source (injectable for tests).
+        max_samples: per-stage sample bound — a hot server keeps at
+            most this many observations per stage regardless of the
+            window, so memory stays O(stages + events).
+    """
+
+    def __init__(self, window_s: float = 60.0, *,
+                 clock: Callable[[], float] = time.monotonic,
+                 max_samples: int = 2048) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be > 0")
+        if max_samples < 1:
+            raise ConfigurationError("max_samples must be >= 1")
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+        self._stages: dict[str, deque[tuple[float, float]]] = {}
+        self._events: dict[str, deque[tuple[float, int]]] = {}
+
+    # -- feeding -------------------------------------------------------------
+
+    def observe(self, stage: str, value: float) -> None:
+        """Record one latency/duration sample for ``stage``."""
+        now = self._clock()
+        with self._lock:
+            dq = self._stages.setdefault(stage, deque())
+            dq.append((now, float(value)))
+            self._prune(dq, now)
+            while len(dq) > self._max_samples:
+                dq.popleft()
+
+    def record(self, event: str, n: int = 1) -> None:
+        """Record ``n`` occurrences of ``event`` (shed, error, ...)."""
+        now = self._clock()
+        with self._lock:
+            dq = self._events.setdefault(event, deque())
+            dq.append((now, int(n)))
+            self._prune(dq, now)
+            while len(dq) > self._max_samples:
+                dq.popleft()
+
+    def _prune(self, dq: deque, now: float) -> None:
+        horizon = now - self.window_s
+        while dq and dq[0][0] < horizon:
+            dq.popleft()
+
+    # -- reading -------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """The windowed picture, JSON-ready.
+
+        ``{"window_s": ..., "stages": {name: {count, p50, p99, max,
+        mean}}, "events": {name: {count, per_s}}}`` — stages/events
+        with no sample inside the window are reported with zeros (a
+        quiet server shows ``p99 == 0``, not a stale value).
+        """
+        now = self._clock()
+        stages: dict[str, Any] = {}
+        events: dict[str, Any] = {}
+        with self._lock:
+            for name, dq in self._stages.items():
+                self._prune(dq, now)
+                vals = sorted(v for _, v in dq)
+                n = len(vals)
+                stages[name] = {
+                    "count": n,
+                    "p50": _percentile(vals, 0.50),
+                    "p99": _percentile(vals, 0.99),
+                    "max": vals[-1] if vals else 0.0,
+                    "mean": (sum(vals) / n) if n else 0.0,
+                }
+            for name, dq in self._events.items():
+                self._prune(dq, now)
+                total = sum(n for _, n in dq)
+                events[name] = {
+                    "count": total,
+                    "per_s": total / self.window_s,
+                }
+        return {"window_s": self.window_s, "stages": stages,
+                "events": events}

@@ -28,6 +28,17 @@ The disabled path is a measured near-no-op: :meth:`Tracer.span` on a
 disabled tracer returns a shared null context manager without
 allocating a span or touching the clock, so instrumented hot paths cost
 one attribute check per call (pinned by the overhead smoke test).
+
+Spans also cross process boundaries. Ids are **pid-namespaced**
+(``span_id = (pid << 32) | local_counter``, see :func:`split_span_id`)
+so spans allocated in forked workers never collide; a submitting thread
+captures :meth:`Tracer.propagation_context` and ships it with the task,
+the worker parents its root spans to the remote id via
+:meth:`Tracer.set_remote_parent`, and finished worker spans travel back
+as dicts (:meth:`Tracer.drain_span_dicts`) to be merged into the parent
+tracer with :meth:`Tracer.adopt_spans`. Because ``perf_counter_ns`` is
+``CLOCK_MONOTONIC`` (system-wide on Linux), timestamps from different
+processes land on one consistent timeline in the merged trace.
 """
 
 from __future__ import annotations
@@ -40,12 +51,25 @@ from typing import IO, Any, Callable
 
 __all__ = [
     "NULL_SPAN",
+    "SPAN_PID_BITS",
     "Span",
     "Tracer",
     "get_tracer",
     "span",
     "spans_from_chrome",
+    "split_span_id",
 ]
+
+#: Width of the per-process counter field inside a span id. The pid
+#: occupies the bits above it: ``span_id = (pid << SPAN_PID_BITS) | n``.
+SPAN_PID_BITS = 32
+
+_LOCAL_ID_MASK = (1 << SPAN_PID_BITS) - 1
+
+
+def split_span_id(span_id: int) -> tuple[int, int]:
+    """Decompose a pid-namespaced span id into ``(pid, local_counter)``."""
+    return span_id >> SPAN_PID_BITS, span_id & _LOCAL_ID_MASK
 
 
 class Span:
@@ -53,20 +77,23 @@ class Span:
 
     Attributes:
         name: dotted instrument-style span name (``thermal.solve``).
-        span_id: unique id within the tracer (1-based).
-        parent_id: enclosing span's id, or None for a root.
+        span_id: pid-namespaced id, unique across every process that
+            contributes to a merged trace (:func:`split_span_id`).
+        parent_id: enclosing span's id, or None for a root. The parent
+            may live in another process (remote-parented worker spans).
         start_ns / end_ns: monotonic ``perf_counter_ns`` stamps
             (``end_ns`` is None while the span is open).
         attrs: free-form attributes attached at open or via :meth:`set`.
         thread_id / thread_name: the opening thread.
+        pid: the process that recorded the span.
     """
 
     __slots__ = ("name", "span_id", "parent_id", "start_ns", "end_ns",
-                 "attrs", "thread_id", "thread_name")
+                 "attrs", "thread_id", "thread_name", "pid")
 
     def __init__(self, name: str, span_id: int, parent_id: int | None,
                  start_ns: int, attrs: dict[str, Any],
-                 thread_id: int, thread_name: str) -> None:
+                 thread_id: int, thread_name: str, pid: int = 0) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
@@ -75,6 +102,7 @@ class Span:
         self.attrs = attrs
         self.thread_id = thread_id
         self.thread_name = thread_name
+        self.pid = pid
 
     @property
     def duration_s(self) -> float:
@@ -88,7 +116,7 @@ class Span:
         self.attrs[key] = value
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form (the JSONL record)."""
+        """Plain-dict form (the JSONL record, and the repatriation wire)."""
         return {
             "name": self.name,
             "span_id": self.span_id,
@@ -98,8 +126,22 @@ class Span:
             "duration_s": self.duration_s,
             "thread_id": self.thread_id,
             "thread_name": self.thread_name,
+            "pid": self.pid,
             "attrs": dict(self.attrs),
         }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (or a
+        :func:`spans_from_chrome` record)."""
+        sp = cls(name=d["name"], span_id=d["span_id"],
+                 parent_id=d.get("parent_id"), start_ns=d["start_ns"],
+                 attrs=dict(d.get("attrs") or {}),
+                 thread_id=d.get("thread_id") or 0,
+                 thread_name=d.get("thread_name") or "",
+                 pid=d.get("pid") or 0)
+        sp.end_ns = d.get("end_ns")
+        return sp
 
 
 class _SpanHandle:
@@ -186,14 +228,22 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
-        parent_id = stack[-1].span_id if stack else None
+        if stack:
+            parent_id = stack[-1].span_id
+        else:
+            parent_id = getattr(self._local, "remote_parent", None)
         t = threading.current_thread()
         with self._lock:
-            span_id = self._next_id
+            local_id = self._next_id
             self._next_id += 1
-        sp = Span(name=name, span_id=span_id, parent_id=parent_id,
+        # The pid is read at allocation time, not cached at construction:
+        # a forked worker inherits the tracer but must namespace its own
+        # ids, or two workers would emit colliding span_ids.
+        pid = os.getpid()
+        sp = Span(name=name, span_id=(pid << SPAN_PID_BITS) | local_id,
+                  parent_id=parent_id,
                   start_ns=time.perf_counter_ns(), attrs=attrs,
-                  thread_id=t.ident or 0, thread_name=t.name)
+                  thread_id=t.ident or 0, thread_name=t.name, pid=pid)
         stack.append(sp)
         return _SpanHandle(self, sp)
 
@@ -214,6 +264,51 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
 
+    # -- cross-process propagation -------------------------------------------
+
+    def propagation_context(self) -> dict[str, Any] | None:
+        """Serializable trace context to ship with out-of-process work.
+
+        Returns None while the tracer is disabled (workers then keep
+        tracing off too). Otherwise ``{"parent_id": <id-or-None>}`` —
+        the calling thread's innermost open span, which becomes the
+        remote parent of the worker's root spans.
+        """
+        if not self.enabled:
+            return None
+        cur = self.current_span()
+        return {"parent_id": cur.span_id if cur is not None else None}
+
+    def set_remote_parent(self, parent_id: int | None) -> None:
+        """Parent this thread's *root* spans to a span in another process.
+
+        Workers call this with the shipped ``propagation_context()``
+        parent before running a task (and clear it with None after), so
+        their span trees graft onto the submitting process's trace.
+        """
+        self._local.remote_parent = parent_id
+
+    def drain_span_dicts(self) -> list[dict[str, Any]]:
+        """Remove and return every finished span as a plain dict.
+
+        The worker-side half of repatriation: called after each task so
+        the span dicts ride back on the same channel as the metrics
+        snapshot delta, and the worker's buffer never grows unbounded.
+        """
+        with self._lock:
+            drained, self._finished = self._finished, []
+        return [sp.to_dict() for sp in drained]
+
+    def adopt_spans(self, span_dicts: list[dict[str, Any]]) -> int:
+        """Merge repatriated span dicts (from another process) into this
+        tracer; returns the number adopted. ``on_close`` is not invoked
+        for adopted spans — they already closed in their home process.
+        """
+        adopted = [Span.from_dict(d) for d in span_dicts]
+        with self._lock:
+            self._finished.extend(adopted)
+        return len(adopted)
+
     @property
     def spans(self) -> tuple[Span, ...]:
         """Every finished span so far, in completion order."""
@@ -229,10 +324,22 @@ class Tracer:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all finished spans and restart ids."""
+        """Drop all finished spans and restart the local id counter
+        (ids stay pid-namespaced, so a reset never reintroduces
+        collisions with spans already exported elsewhere).
+
+        Thread-local state — open-span stacks and remote parents — is
+        discarded too. A forked worker's main thread inherits the
+        parent's stack (fork copies the forking thread, locals and
+        all); were it kept, the stale top entry would shadow the
+        remote parent shipped with each task and every worker span
+        would mis-parent onto whatever the parent process had open at
+        fork time.
+        """
         with self._lock:
             self._finished.clear()
             self._next_id = 1
+            self._local = threading.local()
 
     # -- export --------------------------------------------------------------
 
@@ -252,8 +359,13 @@ class Tracer:
                 fh.write(text)
 
     def chrome_trace(self) -> dict[str, Any]:
-        """The Chrome ``trace_event`` document (complete events)."""
-        pid = os.getpid()
+        """The Chrome ``trace_event`` document (complete events).
+
+        Each event carries its span's own recording pid, so a merged
+        cross-process trace renders one track per contributing process
+        in Perfetto instead of flattening everything onto the exporter.
+        """
+        default_pid = os.getpid()
         events = []
         for sp in self.spans:
             end_ns = sp.end_ns if sp.end_ns is not None else sp.start_ns
@@ -267,7 +379,7 @@ class Tracer:
                 "ph": "X",
                 "ts": sp.start_ns / 1e3,      # microseconds
                 "dur": (end_ns - sp.start_ns) / 1e3,
-                "pid": pid,
+                "pid": sp.pid or default_pid,
                 "tid": sp.thread_id,
                 "args": args,
             })
@@ -314,6 +426,7 @@ def spans_from_chrome(doc: dict[str, Any]) -> list[dict[str, Any]]:
             "start_ns": start_ns,
             "end_ns": start_ns + int(round(ev["dur"] * 1e3)),
             "thread_id": ev.get("tid"),
+            "pid": ev.get("pid"),
             "attrs": args,
         })
     return out

@@ -19,7 +19,11 @@ Three properties the rest of the system relies on:
 * **Worker metrics repatriation** — each chunk returns the delta of
   the worker's metrics registry, and the parent folds it into its own
   (:meth:`repro.obs.metrics.MetricsRegistry.merge_snapshot`), so
-  worker-side solver counters land in campaign manifests.
+  worker-side solver counters land in campaign manifests. When the
+  parent tracer is enabled, finished worker spans travel the same
+  channel and are merged with :meth:`repro.obs.Tracer.adopt_spans`,
+  remote-parented to the span open at submit time — one Chrome trace
+  covers every contributing process.
 
 ``workers=1`` runs every chunk inline — no pool, no pickling — and is
 the reference the multi-worker paths are tested bit-for-bit against.
@@ -34,7 +38,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigurationError
-from ..obs import counter, get_registry, histogram, log_event, span
+from ..obs import (counter, get_registry, get_tracer, histogram, log_event,
+                   span)
 
 __all__ = [
     "ParallelConfig",
@@ -168,23 +173,45 @@ _WORKER_PAYLOAD: Any = None
 
 
 def _init_worker(fn: Callable[[Any, Any], Any], payload: Any) -> None:
-    """Pool initializer: pin the task function and payload per process."""
+    """Pool initializer: pin the task function and payload per process.
+
+    Also resets the tracer a forked child inherited from its parent —
+    without this a worker would repatriate copies of spans the parent
+    already holds, duplicating them in the merged trace. Tracing is
+    re-enabled per task when a trace context arrives with it.
+    """
     global _WORKER_FN, _WORKER_PAYLOAD
     _WORKER_FN = fn
     _WORKER_PAYLOAD = payload
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.reset()
 
 
-def _run_chunk(chunk: list[tuple[int, Any]]
-               ) -> tuple[list[tuple[int, Any]], dict[str, Any], float]:
-    """Evaluate one chunk in a worker; returns results + metrics delta."""
+def _run_chunk(chunk: list[tuple[int, Any]],
+               trace_ctx: dict[str, Any] | None = None
+               ) -> tuple[list[tuple[int, Any]], dict[str, Any], float,
+                          list[dict[str, Any]]]:
+    """Evaluate one chunk in a worker; returns results + metrics delta
+    (+ finished span dicts when a trace context was shipped)."""
     assert _WORKER_FN is not None, "worker not initialized"
     registry = get_registry()
+    tracer = get_tracer()
+    if trace_ctx is not None:
+        tracer.enabled = True
+        tracer.set_remote_parent(trace_ctx.get("parent_id"))
     before = registry.snapshot()
     t0 = time.perf_counter()
-    results = [(idx, _WORKER_FN(_WORKER_PAYLOAD, item))
-               for idx, item in chunk]
+    results = []
+    with tracer.span("supervisor.chunk", items=len(chunk)):
+        for idx, item in chunk:
+            with tracer.span("worker.point", index=idx):
+                results.append((idx, _WORKER_FN(_WORKER_PAYLOAD, item)))
     wall = time.perf_counter() - t0
-    return results, snapshot_delta(before, registry.snapshot()), wall
+    spans = tracer.drain_span_dicts() if trace_ctx is not None else []
+    if trace_ctx is not None:
+        tracer.set_remote_parent(None)
+    return results, snapshot_delta(before, registry.snapshot()), wall, spans
 
 
 # -- parent side -------------------------------------------------------------
@@ -292,19 +319,25 @@ def _run_pool(chunks, fn, payload, cfg: ParallelConfig,
               results: dict[int, Any],
               on_chunk) -> None:
     registry = get_registry()
+    tracer = get_tracer()
+    trace_ctx = tracer.propagation_context()
     ctx = cfg.context()
     with ProcessPoolExecutor(max_workers=cfg.workers,
                              mp_context=ctx,
                              initializer=_init_worker,
                              initargs=(fn, payload)) as pool:
-        pending = {pool.submit(_run_chunk, chunk) for chunk in chunks}
+        pending = {pool.submit(_run_chunk, chunk, trace_ctx)
+                   for chunk in chunks}
         while pending:
             finished, pending = wait(pending,
                                      return_when=FIRST_COMPLETED)
             for fut in finished:
-                done, metrics_delta, wall = fut.result()
+                done, metrics_delta, wall, spans = fut.result()
                 with span("parallel.chunk_merge", items=len(done)):
                     registry.merge_snapshot(metrics_delta)
+                    if spans:
+                        tracer.adopt_spans(spans)
+                        counter("trace.spans_repatriated").inc(len(spans))
                     _note_chunk(done, wall, inline=False)
                     results.update(done)
                     if on_chunk is not None:

@@ -15,6 +15,11 @@ the batch engine established:
   registry (:func:`~repro.parallel.pool.snapshot_delta`), merged into
   the parent registry on completion, so served requests show up in
   manifests exactly like campaign points do;
+* when the parent tracer is enabled, :meth:`WorkerPool.submit`
+  captures the submitting thread's trace context (the broker's open
+  ``broker.dispatch`` span) and the worker's spans come back merged
+  into the parent tracer before the item's future resolves — a served
+  request's trace crosses the process boundary intact;
 * a worker crash no longer breaks the pool: supervision restarts the
   worker, retries the item once, and only then fails that item's
   future with a structured :class:`~repro.errors.WorkerCrashError` —
@@ -87,9 +92,10 @@ class WorkerPool:
     def submit(self, item: Any) -> "Future[Any]":
         """Schedule one item; the future resolves to ``fn``'s result.
 
-        The worker's metrics delta is folded into the parent registry
-        before the returned future resolves, so a caller observing the
-        result also observes its instruments. If the item crashes its
+        The worker's metrics delta (and, with tracing on, its span
+        dicts) is folded into the parent registry before the returned
+        future resolves, so a caller observing the result also
+        observes its instruments. If the item crashes its
         worker past the retry budget, the future fails with
         :class:`~repro.errors.WorkerCrashError`; the pool itself stays
         healthy.

@@ -49,7 +49,7 @@ from multiprocessing import connection
 from typing import Any, Callable
 
 from ..errors import ConfigurationError, PoolClosedError, WorkerCrashError
-from ..obs import counter, gauge, get_registry, log_event
+from ..obs import counter, gauge, get_registry, get_tracer, log_event
 
 __all__ = ["Poisoned", "SupervisedPool", "SupervisorConfig"]
 
@@ -142,9 +142,17 @@ def _worker_main(conn, fn: Callable[[Any, Any], Any], payload: Any,
     """Worker process entry: heartbeat thread + task loop.
 
     Protocol (worker -> supervisor): ``("hb",)``, ``("done", task_id,
-    results, metrics_delta, wall)``, ``("err", task_id, exception)``.
-    Supervisor -> worker: ``("task", task_id, key, attempt, chunk)``
-    and ``("stop",)``.
+    results, metrics_delta, wall, spans)``, ``("err", task_id,
+    exception)``. Supervisor -> worker: ``("task", task_id, key,
+    attempt, chunk, trace_ctx)`` and ``("stop",)``.
+
+    ``trace_ctx`` is the submitting thread's
+    :meth:`~repro.obs.Tracer.propagation_context` (None while tracing
+    is off). When present, the worker tracer is enabled for the task,
+    the chunk runs under a ``supervisor.chunk`` span remote-parented to
+    the shipped context (each item under a ``worker.point`` span), and
+    the finished span dicts ride back on the ``done`` message beside
+    the metrics delta.
     """
     from .pool import _init_worker, snapshot_delta
     _init_worker(fn, payload)    # campaign/serve tasks share this env
@@ -165,6 +173,7 @@ def _worker_main(conn, fn: Callable[[Any, Any], Any], payload: Any,
     threading.Thread(target=_beat, name="supervisor-heartbeat",
                      daemon=True).start()
     registry = get_registry()
+    tracer = get_tracer()
     try:
         while True:
             try:
@@ -173,7 +182,7 @@ def _worker_main(conn, fn: Callable[[Any, Any], Any], payload: Any,
                 return                   # supervisor went away
             if msg[0] == "stop":
                 return
-            _, task_id, key, attempt, chunk = msg
+            _, task_id, key, attempt, chunk, trace_ctx = msg
             if fault_plan is not None:
                 kind = fault_plan.draw(key, attempt)
                 if kind == "worker_kill":
@@ -184,19 +193,33 @@ def _worker_main(conn, fn: Callable[[Any, Any], Any], payload: Any,
                 elif kind == "slow_heartbeat":
                     hb_muted_until[0] = (time.monotonic()
                                          + fault_plan.stall_s)
+            if trace_ctx is not None:
+                tracer.enabled = True
+                tracer.set_remote_parent(trace_ctx.get("parent_id"))
+            else:
+                tracer.enabled = False
             before = registry.snapshot()
             t0 = time.perf_counter()
             try:
-                results = [(idx, fn(payload, item))
-                           for idx, item in chunk]
+                results = []
+                with tracer.span("supervisor.chunk", key=key,
+                                 items=len(chunk), attempt=attempt):
+                    for idx, item in chunk:
+                        with tracer.span("worker.point", index=idx):
+                            results.append((idx, fn(payload, item)))
             except BaseException as exc:
+                tracer.drain_span_dicts()     # drop the failed task's spans
+                tracer.set_remote_parent(None)
                 _send_err(conn, send_lock, task_id, exc)
                 continue
             wall = time.perf_counter() - t0
             delta = snapshot_delta(before, registry.snapshot())
+            spans = tracer.drain_span_dicts() if trace_ctx is not None else []
+            tracer.set_remote_parent(None)
             try:
                 with send_lock:
-                    conn.send(("done", task_id, results, delta, wall))
+                    conn.send(("done", task_id, results, delta, wall,
+                               spans))
             except (OSError, EOFError, BrokenPipeError):
                 return
             except Exception as exc:     # unpicklable result
@@ -228,10 +251,12 @@ def _send_err(conn, send_lock, task_id: int, exc: BaseException) -> None:
 class _Task:
     """One scheduled chunk and its accounting."""
 
-    __slots__ = ("id", "key", "chunk", "future", "crashes", "started_at")
+    __slots__ = ("id", "key", "chunk", "future", "crashes", "started_at",
+                 "trace_ctx")
 
     def __init__(self, task_id: int, key: str,
-                 chunk: list[tuple[int, Any]]) -> None:
+                 chunk: list[tuple[int, Any]],
+                 trace_ctx: dict[str, Any] | None = None) -> None:
         self.id = task_id
         self.key = key
         self.chunk = chunk
@@ -239,6 +264,7 @@ class _Task:
             = Future()
         self.crashes = 0
         self.started_at = 0.0
+        self.trace_ctx = trace_ctx
 
 
 class _Slot:
@@ -308,15 +334,21 @@ class SupervisedPool:
 
     def submit(self, chunk: list[tuple[int, Any]], *,
                key: str = "") -> "Future[tuple[list[tuple[int, Any]], float]]":
-        """Schedule one chunk; returns its future (see class docs)."""
+        """Schedule one chunk; returns its future (see class docs).
+
+        The submitting thread's trace context is captured here, so
+        worker spans parent to whatever span is open at the call site
+        (a re-enqueued crash retry keeps the original context).
+        """
         if not chunk:
             raise ConfigurationError("cannot submit an empty chunk")
+        trace_ctx = get_tracer().propagation_context()
         with self._lock:
             if self._closed:
                 raise PoolClosedError()
             self._seq += 1
             task = _Task(self._seq, key or f"task/{self._seq}",
-                         list(chunk))
+                         list(chunk), trace_ctx)
             self._pending.append(task)
         self._wake()
         return task.future
@@ -477,7 +509,8 @@ class SupervisedPool:
                 return
             try:
                 slot.conn.send(("task", task.id, task.key,
-                                task.crashes, task.chunk))
+                                task.crashes, task.chunk,
+                                task.trace_ctx))
             except (OSError, EOFError, BrokenPipeError):
                 # worker died between checks; re-enqueue, reap below
                 with self._lock:
@@ -512,13 +545,16 @@ class SupervisedPool:
             if msg[0] == "hb":
                 continue
             if msg[0] == "done":
-                _, task_id, results, delta, wall = msg
+                _, task_id, results, delta, wall, spans = msg
                 task = self._inflight.pop(task_id, None)
                 if slot.current is not None \
                         and slot.current.id == task_id:
                     slot.current = None
                 if task is not None:
                     get_registry().merge_snapshot(delta)
+                    if spans:
+                        get_tracer().adopt_spans(spans)
+                        counter("trace.spans_repatriated").inc(len(spans))
                     task.future.set_result((results, wall))
             elif msg[0] == "err":
                 _, task_id, exc = msg

@@ -51,6 +51,7 @@ from ..errors import (
     WorkerCrashError,
 )
 from ..obs import (
+    SloAggregator,
     build_manifest,
     counter,
     gauge,
@@ -89,6 +90,9 @@ class BrokerConfig:
             pickling cost.
         default_deadline_s: deadline applied to requests that do not
             set one (None = no default).
+        slo_window_s: rolling window for the live SLO aggregates
+            (p50/p99 per stage, error/shed rates) surfaced by
+            :meth:`Broker.stats` and the ``/metrics`` endpoint.
     """
 
     workers: int = 2
@@ -97,12 +101,15 @@ class BrokerConfig:
     cache_ttl_s: float | None = None
     use_processes: bool = False
     default_deadline_s: float | None = None
+    slo_window_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if self.max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
+        if self.slo_window_s <= 0:
+            raise ConfigurationError("slo_window_s must be > 0")
 
     def to_dict(self) -> dict:
         """JSON-ready form (embedded in the shutdown manifest)."""
@@ -140,6 +147,7 @@ class Broker:
         self._closed = False
         self._joined = False
         self._started_at = self._clock()
+        self.slo = SloAggregator(self.config.slo_window_s, clock=clock)
         self.cache = ResultCache(self.config.cache_capacity,
                                  self.config.cache_ttl_s, clock=clock)
         self._pool = None
@@ -208,12 +216,14 @@ class Broker:
             if self._closed:
                 raise ServeError("broker is shut down")
             counter("serve.requests_total").inc()
+            self.slo.record("request")
 
             cached = self.cache.get(key)
             if cached is not None:
                 job = Job(request, key=key, submitted_at=now)
                 job.finish(cached, now, from_cache=True)
                 self._remember(job)
+                self.slo.record("cache_hit")
                 log_event("serve_cache_hit", key=key, job_id=job.id)
                 return job
 
@@ -221,12 +231,14 @@ class Broker:
             if active is not None:
                 active.attached += 1
                 counter("serve.coalesced_total").inc()
+                self.slo.record("coalesced")
                 log_event("serve_coalesced", key=key, job_id=active.id,
                           attached=active.attached)
                 return active
 
             if len(self._heap) >= self.config.max_queue:
                 counter("serve.shed_total").inc()
+                self.slo.record("shed")
                 log_event("serve_shed", key=key,
                           queued=len(self._heap),
                           in_flight=self._inflight)
@@ -287,6 +299,7 @@ class Broker:
                 if deadline is not None and waited > deadline:
                     self._active.pop(job.key, None)
                     counter("serve.expired_total").inc()
+                    self.slo.record("expired")
                     self._cv.notify_all()
                     expired = True
                 else:
@@ -302,6 +315,7 @@ class Broker:
                           waited_s=round(waited, 6))
                 continue
             histogram("serve.wait_seconds").observe(waited)
+            self.slo.observe("wait", waited)
             job.mark_running(now)
             self._evaluate(job)
 
@@ -309,14 +323,19 @@ class Broker:
         t0 = self._clock()
         try:
             with span("serve.request", key=job.key, job_id=job.id):
-                if self._pool is not None:
-                    outcome = self._pool_submit(
-                        job.request.spec.to_dict()).result()
-                elif self._runner is not None:
-                    outcome = self._runner(job.request.spec)
-                else:
-                    outcome = run_spec_resilient(job.request.spec,
-                                                 self.resilience)
+                # the dispatch span is the remote parent worker spans
+                # graft onto in process mode (the pool submit happens
+                # while it is the innermost open span of this thread)
+                with span("broker.dispatch", key=job.key,
+                          pooled=self._pool is not None):
+                    if self._pool is not None:
+                        outcome = self._pool_submit(
+                            job.request.spec.to_dict()).result()
+                    elif self._runner is not None:
+                        outcome = self._runner(job.request.spec)
+                    else:
+                        outcome = run_spec_resilient(job.request.spec,
+                                                     self.resilience)
         except BaseException as exc:
             with self._cv:
                 self._inflight -= 1
@@ -324,8 +343,10 @@ class Broker:
                 self._active.pop(job.key, None)
                 self._cv.notify_all()
             counter("serve.failed_total").inc()
+            self.slo.record("error")
             if isinstance(exc, WorkerCrashError):
                 counter("serve.worker_crashes").inc()
+                self.slo.record("worker_crash")
             job.fail(exc, self._clock())
             log_event("serve_failed", job_id=job.id, key=job.key,
                       error=type(exc).__name__, message=str(exc))
@@ -338,11 +359,14 @@ class Broker:
             self.cache.put(job.key, outcome)
             self._cv.notify_all()
         counter("serve.completed_total").inc()
+        self.slo.record("completed")
         if getattr(outcome, "degraded", False):
             counter("serve.degraded_total").inc()
         histogram("serve.run_seconds").observe(now - t0)
         histogram("serve.latency_seconds").observe(
             now - job.submitted_at)
+        self.slo.observe("run", now - t0)
+        self.slo.observe("latency", now - job.submitted_at)
         job.finish(outcome, now)
         log_event("serve_done", job_id=job.id, key=job.key,
                   attached=job.attached,
@@ -422,21 +446,36 @@ class Broker:
             _, _, job = heapq.heappop(self._heap)
             self._active.pop(job.key, None)
             counter("serve.cancelled_total").inc()
+            self.slo.record("cancelled")
             job.fail(ServeError("cancelled at shutdown"), self._clock(),
                      state=JobState.CANCELLED)
         gauge("serve.queue_depth").set(0)
 
     def stats(self) -> dict[str, Any]:
-        """Current serve-layer statistics (JSON-ready)."""
+        """Current serve-layer statistics (JSON-ready).
+
+        Besides the lifetime counters this includes the rolling-window
+        ``"slo"`` summary (:class:`~repro.obs.SloAggregator`), whose
+        stage percentiles and event rates are also mirrored into
+        ``serve.slo.*`` gauges here — so a ``/metrics`` scrape (which
+        calls :meth:`stats` first) exposes them to Prometheus.
+        """
         reg = get_registry()
         with self._cv:
             queued, inflight = len(self._heap), self._inflight
         def _c(name: str) -> int:
             return reg.counter(name).value
+        slo = self.slo.summary()
+        for stage, agg in slo["stages"].items():
+            gauge(f"serve.slo.{stage}_p50").set(agg["p50"])
+            gauge(f"serve.slo.{stage}_p99").set(agg["p99"])
+        for event, agg in slo["events"].items():
+            gauge(f"serve.slo.{event}_per_s").set(agg["per_s"])
         return {
             "queued": queued,
             "in_flight": inflight,
             "closed": self._closed,
+            "uptime_s": self._clock() - self._started_at,
             "requests_total": _c("serve.requests_total"),
             "completed_total": _c("serve.completed_total"),
             "failed_total": _c("serve.failed_total"),
@@ -447,6 +486,7 @@ class Broker:
             "degraded_total": _c("serve.degraded_total"),
             "worker_crashes_total": _c("serve.worker_crashes"),
             "pool_rebuilds_total": _c("serve.pool_rebuilds"),
+            "slo": slo,
             "cache": self.cache.stats(),
         }
 

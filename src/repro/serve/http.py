@@ -21,7 +21,20 @@ Route                       Meaning
                             serving); ``500`` failed; ``404`` unknown
                             id.
 ``GET /status/<id>``        job state + full event log.
-``GET /stats``              broker statistics (counters, cache).
+``GET /stats``              broker statistics (counters, cache, and the
+                            rolling-window ``slo`` summary rendered by
+                            ``repro top``).
+``GET /metrics``            the whole metrics registry as Prometheus
+                            text exposition 0.0.4 (counters, gauges,
+                            cumulative histogram buckets) — point a
+                            Prometheus scrape job here.
+``GET /trace``              the server tracer's Chrome ``trace_event``
+                            document (broker + repatriated worker
+                            spans); ``POST /trace`` with
+                            ``{"enabled": bool}`` toggles server-side
+                            tracing (``repro submit --trace-out``
+                            enables it, then merges this document into
+                            the client-side trace).
 ``GET /healthz``            liveness probe.
 ``POST /shutdown``          acknowledge, then stop the listener; the
                             CLI drains the broker and exits 0.
@@ -65,9 +78,13 @@ class _Handler(BaseHTTPRequestHandler):
         log_event("serve_http", request=fmt % args)
 
     def _send(self, code: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        self._send_bytes(code, json.dumps(payload, sort_keys=True).encode(),
+                         "application/json")
+
+    def _send_bytes(self, code: int, body: bytes,
+                    content_type: str) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -90,6 +107,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, {"status": "ok"})
             elif path == "/stats":
                 self._send(200, self.server.broker.stats())
+            elif path == "/metrics":
+                self._metrics()
+            elif path == "/trace":
+                from ..obs import get_tracer
+                self._send(200, get_tracer().chrome_trace())
             elif path.startswith("/status/"):
                 self._send(200, client.status(path[len("/status/"):]))
             elif path.startswith("/result/"):
@@ -98,6 +120,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(404, {"error": "not_found", "path": path})
         except ServeError as exc:
             self._send(404, {"error": "unknown_job", "message": str(exc)})
+
+    def _metrics(self) -> None:
+        from ..obs import get_registry, to_prometheus_text
+        # stats() refreshes the serve.slo.* gauges the exposition reads
+        self.server.broker.stats()
+        text = to_prometheus_text(get_registry().snapshot())
+        self._send_bytes(200, text.encode(),
+                         "text/plain; version=0.0.4; charset=utf-8")
 
     def _result(self, job_id: str, query: str) -> None:
         client = self.server.client
@@ -138,6 +168,20 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.partition("?")[0]
         if path == "/submit":
             self._submit()
+        elif path == "/trace":
+            from ..obs import get_tracer
+            try:
+                enabled = bool(self._body().get("enabled"))
+            except (ConfigurationError, json.JSONDecodeError) as exc:
+                self._send(400, {"error": "bad_request",
+                                 "message": str(exc)})
+                return
+            tracer = get_tracer()
+            if enabled:
+                tracer.enable()
+            else:
+                tracer.disable()
+            self._send(200, {"tracing": tracer.enabled})
         elif path == "/shutdown":
             self._send(200, {"status": "shutting_down"})
             # serve_forever() cannot be stopped from a handler thread
@@ -262,6 +306,21 @@ class HttpServeClient:
     def stats(self) -> dict[str, Any]:
         """GET /stats."""
         return self._request("GET", "/stats")[1]
+
+    def metrics_text(self) -> str:
+        """GET /metrics — the raw Prometheus text exposition."""
+        req = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+            return resp.read().decode()
+
+    def trace(self) -> dict[str, Any]:
+        """GET /trace — the server's Chrome trace document."""
+        return self._request("GET", "/trace")[1]
+
+    def set_tracing(self, enabled: bool) -> dict[str, Any]:
+        """POST /trace — toggle server-side span collection."""
+        return self._request("POST", "/trace",
+                             {"enabled": bool(enabled)})[1]
 
     def healthz(self) -> bool:
         """True when the endpoint answers its liveness probe."""

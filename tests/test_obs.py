@@ -131,6 +131,9 @@ class TestTracer:
             tracer.reset()
 
     def test_reset_restarts_ids(self):
+        import os
+
+        from repro.obs import split_span_id
         tr = Tracer(enabled=True)
         with tr.span("a"):
             pass
@@ -138,7 +141,11 @@ class TestTracer:
         with tr.span("b"):
             pass
         (s,) = tr.spans
-        assert s.span_id == 1
+        # Ids are pid-namespaced; reset restarts the *local* counter.
+        pid, local = split_span_id(s.span_id)
+        assert local == 1
+        assert pid == os.getpid()
+        assert s.pid == os.getpid()
 
 
 class TestTraceExport:

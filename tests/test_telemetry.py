@@ -1,0 +1,423 @@
+"""Live telemetry: Prometheus exposition, SLO windows, /metrics and
+/trace endpoints, ``repro top``, the CLI telemetry flusher, and the
+bench regression gate.
+
+Companion to :mod:`tests.test_trace_distributed` (the tracing half of
+the observability tentpole): this file pins the *metrics* half — the
+text format a Prometheus server scrapes, the rolling-window SLO
+summary ``repro top`` renders, and the ``--compare`` gate CI runs
+against the checked-in bench baselines.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.config import ExperimentSpec
+from repro.errors import ConfigurationError
+from repro.obs import (
+    SloAggregator,
+    get_tracer,
+    lint_prometheus_text,
+    prometheus_metric_name,
+    to_prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import Broker, BrokerConfig
+
+FAST = {"die_grid": 8, "package_grid": 4}
+
+
+def fast_spec(**kw) -> ExperimentSpec:
+    base = dict(chip="low-power-cmp", n_chips=2, cooling="water",
+                package_overrides=dict(FAST), benchmarks=("ep",))
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+class TestPrometheusText:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("serve.requests_total").inc(7)
+        reg.gauge("serve.queue_depth").set(3)
+        h = reg.histogram("serve.wait_seconds",
+                          edges=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        return reg
+
+    def test_name_sanitization(self):
+        assert prometheus_metric_name("serve.requests_total") == \
+            "repro_serve_requests_total"
+        assert prometheus_metric_name("a-b.c d") == "repro_a_b_c_d"
+
+    def test_counters_and_gauges_typed(self):
+        text = to_prometheus_text(self._registry().snapshot())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus_text(self._registry().snapshot())
+        lines = [line for line in text.splitlines()
+                 if line.startswith("repro_serve_wait_seconds")]
+        assert 'repro_serve_wait_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_serve_wait_seconds_bucket{le="1"} 3' in lines
+        assert 'repro_serve_wait_seconds_bucket{le="10"} 4' in lines
+        assert 'repro_serve_wait_seconds_bucket{le="+Inf"} 5' in lines
+        assert "repro_serve_wait_seconds_count 5" in lines
+
+    def test_lint_accepts_own_output(self):
+        info = lint_prometheus_text(
+            to_prometheus_text(self._registry().snapshot()))
+        assert info["metrics"] == 3
+        assert info["samples"] >= 8
+
+    def test_lint_rejects_malformed_sample(self):
+        with pytest.raises(ConfigurationError, match="malformed sample"):
+            lint_prometheus_text("# TYPE a counter\na one\n")
+
+    def test_lint_rejects_undeclared_metric(self):
+        with pytest.raises(ConfigurationError, match="undeclared"):
+            lint_prometheus_text("mystery 1\n")
+
+    def test_lint_rejects_duplicate_type(self):
+        with pytest.raises(ConfigurationError, match="duplicate TYPE"):
+            lint_prometheus_text(
+                "# TYPE a counter\na 1\n# TYPE a gauge\na 2\n")
+
+    def test_lint_rejects_non_cumulative_buckets(self):
+        doc = ('# TYPE h histogram\n'
+               'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+               'h_bucket{le="+Inf"} 5\nh_sum 1.0\nh_count 5\n')
+        with pytest.raises(ConfigurationError, match="not cumulative"):
+            lint_prometheus_text(doc)
+
+    def test_lint_rejects_inf_count_mismatch(self):
+        doc = ('# TYPE h histogram\n'
+               'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\n'
+               'h_sum 1.0\nh_count 3\n')
+        with pytest.raises(ConfigurationError, match="_count"):
+            lint_prometheus_text(doc)
+
+    def test_lint_rejects_missing_inf_bucket(self):
+        doc = ('# TYPE h histogram\n'
+               'h_bucket{le="1"} 1\nh_sum 1.0\nh_count 1\n')
+        with pytest.raises(ConfigurationError, match=r"\+Inf"):
+            lint_prometheus_text(doc)
+
+
+# -- rolling-window SLO aggregation ------------------------------------------
+
+class TestSloAggregator:
+    def test_percentiles_over_window(self):
+        now = [0.0]
+        slo = SloAggregator(60.0, clock=lambda: now[0])
+        for v in range(1, 101):
+            slo.observe("latency", v / 100.0)
+        s = slo.summary()["stages"]["latency"]
+        assert s["count"] == 100
+        assert s["p50"] == pytest.approx(0.50)
+        assert s["p99"] == pytest.approx(0.99)
+        assert s["max"] == pytest.approx(1.0)
+        assert s["mean"] == pytest.approx(0.505)
+
+    def test_old_samples_age_out(self):
+        now = [0.0]
+        slo = SloAggregator(10.0, clock=lambda: now[0])
+        slo.observe("wait", 100.0)
+        now[0] = 5.0
+        slo.observe("wait", 1.0)
+        now[0] = 11.0    # first sample now outside the window
+        s = slo.summary()["stages"]["wait"]
+        assert s["count"] == 1
+        assert s["max"] == pytest.approx(1.0)
+
+    def test_empty_window_reports_zeros(self):
+        now = [0.0]
+        slo = SloAggregator(10.0, clock=lambda: now[0])
+        slo.observe("run", 3.0)
+        now[0] = 100.0
+        s = slo.summary()["stages"]["run"]
+        assert s == {"count": 0, "p50": 0.0, "p99": 0.0,
+                     "max": 0.0, "mean": 0.0}
+
+    def test_event_rates_are_count_over_window(self):
+        now = [0.0]
+        slo = SloAggregator(20.0, clock=lambda: now[0])
+        for _ in range(10):
+            slo.record("shed")
+        slo.record("error", n=4)
+        ev = slo.summary()["events"]
+        assert ev["shed"] == {"count": 10, "per_s": 0.5}
+        assert ev["error"]["count"] == 4
+
+    def test_sample_bound_caps_memory(self):
+        now = [0.0]
+        slo = SloAggregator(60.0, clock=lambda: now[0], max_samples=8)
+        for v in range(100):
+            slo.observe("latency", float(v))
+        s = slo.summary()["stages"]["latency"]
+        assert s["count"] == 8
+        assert s["max"] == 99.0      # the newest samples are kept
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SloAggregator(0.0)
+        with pytest.raises(ConfigurationError):
+            SloAggregator(10.0, max_samples=0)
+
+
+# -- broker SLO wiring and the live endpoints --------------------------------
+
+@pytest.fixture()
+def http_serve():
+    """A live endpoint on an ephemeral port, drained at teardown."""
+    from repro.serve import HttpServeClient, ServeHTTPServer
+    broker = Broker(BrokerConfig(workers=2, max_queue=8,
+                                 slo_window_s=30.0))
+    server = ServeHTTPServer(broker, port=0)
+    server.serve_in_thread()
+    try:
+        yield broker, server, HttpServeClient(server.url)
+    finally:
+        server.shutdown()
+        server.server_close()
+        broker.shutdown(drain=True)
+
+
+class TestServeTelemetry:
+    def test_config_validates_slo_window(self):
+        with pytest.raises(ConfigurationError):
+            BrokerConfig(slo_window_s=0.0)
+
+    def test_stats_carries_slo_and_uptime(self, http_serve):
+        _, _, client = http_serve
+        ack = client.submit(fast_spec().to_dict())
+        client.result(ack["job_id"], timeout_s=120)
+        stats = client.stats()
+        assert stats["uptime_s"] >= 0.0
+        slo = stats["slo"]
+        assert slo["window_s"] == 30.0
+        for stage in ("wait", "run", "latency"):
+            assert slo["stages"][stage]["count"] >= 1, stage
+        assert slo["events"]["request"]["count"] >= 1
+        assert slo["events"]["completed"]["count"] >= 1
+
+    def test_metrics_endpoint_serves_lintable_prometheus(self,
+                                                         http_serve):
+        _, server, client = http_serve
+        ack = client.submit(fast_spec(n_chips=3).to_dict())
+        client.result(ack["job_id"], timeout_s=120)
+        text = client.metrics_text()
+        info = lint_prometheus_text(text)
+        assert info["samples"] > 0
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_slo_latency_p99" in text
+        assert 'le="+Inf"' in text
+        # the raw endpoint advertises the exposition content type
+        req = urllib.request.Request(server.url + "/metrics")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+
+    def test_trace_endpoint_toggles_and_serves_spans(self, http_serve):
+        _, _, client = http_serve
+        tracer = get_tracer()
+        assert not tracer.enabled
+        try:
+            assert client.set_tracing(True) == {"tracing": True}
+            ack = client.submit(fast_spec(n_chips=4).to_dict())
+            client.result(ack["job_id"], timeout_s=120)
+            doc = client.trace()
+            names = {e["name"] for e in doc["traceEvents"]}
+            assert "serve.request" in names
+            assert "broker.dispatch" in names
+            assert client.set_tracing(False) == {"tracing": False}
+        finally:
+            tracer.disable()
+            tracer.reset()
+
+    def test_top_once_renders_a_frame(self, http_serve, capsys):
+        from repro import cli
+        _, server, client = http_serve
+        ack = client.submit(fast_spec(n_chips=5).to_dict())
+        client.result(ack["job_id"], timeout_s=120)
+        rc = cli.main(["top", "--once", "--url", server.url])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro top" in out
+        assert "latency" in out
+        assert "queued" in out
+
+    def test_top_reports_unreachable_server(self, capsys):
+        from repro import cli
+        rc = cli.main(["top", "--once",
+                       "--url", "http://127.0.0.1:1"])
+        assert rc == 1
+        assert "no server" in capsys.readouterr().err
+
+
+# -- the CLI telemetry flusher -----------------------------------------------
+
+class TestTelemetryFlusher:
+    def test_flush_is_idempotent(self, tmp_path):
+        from repro.cli import _TelemetryFlusher
+        from repro.obs import get_registry
+        out = tmp_path / "metrics.json"
+        flusher = _TelemetryFlusher(None, str(out))
+        flusher()
+        first = out.read_text()
+        get_registry().counter("test_telemetry.after_flush").inc()
+        flusher()       # second call must not rewrite
+        assert out.read_text() == first
+        assert "test_telemetry.after_flush" not in first
+
+    def test_interrupt_still_writes_telemetry(self, tmp_path,
+                                              monkeypatch, capsys):
+        from repro import cli
+
+        def boom():
+            raise KeyboardInterrupt
+        # _cmd_pue resolves pue_comparison at call time, so patching
+        # the source module simulates a Ctrl-C mid-command.
+        import repro.cooling
+        monkeypatch.setattr(repro.cooling, "pue_comparison", boom)
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        rc = cli.main(["pue", "--metrics-out", str(metrics),
+                       "--trace-out", str(trace)])
+        assert rc == 130
+        assert "counters" in json.loads(metrics.read_text())
+        assert "traceEvents" in json.loads(trace.read_text())
+
+    def test_normal_run_writes_both_outputs(self, tmp_path, capsys):
+        from repro import cli
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        rc = cli.main(["pue", "--metrics-out", str(metrics),
+                       "--trace-out", str(trace)])
+        assert rc == 0
+        assert json.loads(metrics.read_text())["counters"]
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert any(r["name"] == "cli.pue" for r in records)
+
+
+# -- the bench regression gate -----------------------------------------------
+
+def _load_bench_module():
+    path = Path(__file__).resolve().parent.parent / "scripts" \
+        / "bench_to_json.py"
+    spec = importlib.util.spec_from_file_location("bench_to_json", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestBenchCompare:
+    @pytest.fixture(scope="class")
+    def b2j(self):
+        return _load_bench_module()
+
+    def test_flatten_covers_every_bench_shape(self, b2j):
+        assert b2j._flatten_timings({
+            "bench": "parallel_campaign",
+            "grids": {"fig07": {"seconds": {"serial_seed": 2.0,
+                                            "workers_2": 1.0}}},
+        }) == {"grids.fig07.seconds.serial_seed": 2.0,
+               "grids.fig07.seconds.workers_2": 1.0}
+        assert b2j._flatten_timings({
+            "bench": "serve", "wall_s": 1.5,
+            "latency_s": {"p50": 0.1, "p99": 0.4},
+        }) == {"wall_s": 1.5, "latency_s.p50": 0.1,
+               "latency_s.p99": 0.4}
+        assert b2j._flatten_timings({
+            "bench": "supervisor",
+            "seconds": {"bare_executor": 1.0, "supervised": 1.04},
+        }) == {"seconds.bare_executor": 1.0,
+               "seconds.supervised": 1.04}
+
+    def test_within_threshold_passes(self, b2j):
+        base = {"bench": "serve", "wall_s": 1.0,
+                "latency_s": {"p99": 0.1}}
+        cur = {"bench": "serve", "wall_s": 1.2,
+               "latency_s": {"p99": 0.12}}
+        rc, rows = b2j.compare_to_baseline(cur, base, threshold=0.25)
+        assert rc == 0
+        assert all(not r["regressed"] for r in rows)
+
+    def test_regression_fails_and_names_the_metric(self, b2j):
+        base = {"bench": "serve", "wall_s": 1.0,
+                "latency_s": {"p99": 0.1}}
+        cur = {"bench": "serve", "wall_s": 2.0,
+               "latency_s": {"p99": 0.1}}
+        rc, rows = b2j.compare_to_baseline(cur, base, threshold=0.25)
+        assert rc == 1
+        bad = [r for r in rows if r["regressed"]]
+        assert [r["metric"] for r in bad] == ["wall_s"]
+        assert bad[0]["ratio"] == pytest.approx(2.0)
+
+    def test_metrics_missing_from_either_side_are_skipped(self, b2j):
+        base = {"bench": "serve", "wall_s": 1.0,
+                "latency_s": {"p50": 0.1}}
+        cur = {"bench": "serve", "wall_s": 1.0,
+               "latency_s": {"p99": 9.9}}
+        rc, rows = b2j.compare_to_baseline(cur, base, threshold=0.25)
+        assert rc == 0
+        assert [r["metric"] for r in rows] == ["wall_s"]
+
+    def test_run_compare_report_only_never_fails(self, b2j, tmp_path,
+                                                 capsys):
+        out = tmp_path / "cur.json"
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"bench": "serve", "wall_s": 1.0}))
+        out.write_text(json.dumps({"bench": "serve", "wall_s": 10.0}))
+
+        class Args:
+            pass
+        args = Args()
+        args.out = str(out)
+        args.compare = str(baseline)
+        args.threshold = 0.25
+        args.report_only = True
+        assert b2j._run_compare(args) == 0
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "report-only" in captured.err
+        args.report_only = False
+        assert b2j._run_compare(args) == 1
+
+    def test_mismatched_bench_kinds_do_not_compare(self, b2j, tmp_path,
+                                                   capsys):
+        out = tmp_path / "cur.json"
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"bench": "supervisor",
+                                        "seconds": {"supervised": 1.0}}))
+        out.write_text(json.dumps({"bench": "serve", "wall_s": 1.0}))
+
+        class Args:
+            pass
+        args = Args()
+        args.out = str(out)
+        args.compare = str(baseline)
+        args.threshold = 0.25
+        args.report_only = False
+        assert b2j._run_compare(args) == 1
+        args.report_only = True
+        assert b2j._run_compare(args) == 0
+        assert "nothing comparable" in capsys.readouterr().err
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-v"]))
