@@ -22,6 +22,7 @@ trail. Worker speedups need real cores; on a 1-core container the
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core import freqopt
@@ -30,6 +31,37 @@ from repro.thermal.hotspot import model_cache
 
 CHIPS = tuple(range(1, 9))
 COOLS = ("air", "water_pipe", "water")
+
+#: The largest worker count any test here exercises — the scaling
+#: claims are only meaningful when the machine has at least this many
+#: cores.
+MAX_WORKERS = 2
+
+
+def cpu_count_banner() -> tuple[int, str]:
+    """(cpu_count, banner line) — the context every timing needs.
+
+    Worker speedups need real cores: on a machine with fewer cores
+    than workers the ``workers*`` numbers measure engine overhead, not
+    parallelism, so the banner carries an explicit warning that CI and
+    readers of the benchmark history can key on.
+    """
+    cores = os.cpu_count() or 1
+    line = f"cpu_count={cores}"
+    if cores < MAX_WORKERS:
+        line += (f" WARNING: fewer cores than the benchmarked "
+                 f"max workers ({MAX_WORKERS}); workers_N timings "
+                 f"measure engine overhead, not parallel speedup")
+    return cores, line
+
+
+def test_cpu_count_recorded(save_artifact, capsys):
+    """Pin the host's core count next to every benchmark artifact."""
+    cores, line = cpu_count_banner()
+    with capsys.disabled():
+        print(f"\n[bench_parallel_campaign] {line}")
+    save_artifact("parallel_campaign_cpu_count", line)
+    assert cores >= 1
 
 
 def run_campaign(tmpdir: Path, *, workers, probe_batch=None):

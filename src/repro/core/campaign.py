@@ -149,11 +149,13 @@ class CampaignPoint:
                 f"unknown campaign point kind {self.kind!r}")
         if self.n_chips < 1:
             raise ConfigurationError("n_chips must be >= 1")
-
-    @property
-    def key(self) -> str:
-        """Stable checkpoint key of this point."""
-        return f"{self.kind}/{self.chip}/n{self.n_chips}/{self.cooling}"
+        # The stable checkpoint key, computed once (the runner, the
+        # parallel engine's seed derivation, and the ledger all key on
+        # it repeatedly). Not a dataclass field, so ``asdict`` — and
+        # therefore the checkpoint bytes — are unchanged.
+        object.__setattr__(
+            self, "key",
+            f"{self.kind}/{self.chip}/n{self.n_chips}/{self.cooling}")
 
     def to_dict(self) -> dict:
         """Plain-dict form for the checkpoint."""
@@ -644,12 +646,16 @@ class CampaignRunner:
         max_point_crashes: quarantine threshold forwarded to the
             supervised pool — worker crashes per chunk before its
             points are recorded as ``poison``.
+        response_cache_dir: directory of the content-addressed thermal
+            response-operator store (see :mod:`repro.thermal.response`).
+            Configured process-wide at :meth:`run`, so pool workers
+            inherit it and warm each other's operators across runs.
 
     The campaign config hash deliberately excludes ``workers``,
-    ``chunk_size``, ``share_models``, and the supervision timeouts:
-    execution strategy changes how fast the answer arrives, not what
-    it is, and ledger entries from a 4-worker re-run must tie to the
-    same manifest as the serial original. ``process_faults`` *is*
+    ``chunk_size``, ``share_models``, ``response_cache_dir``, and the
+    supervision timeouts: execution strategy changes how fast the
+    answer arrives, not what it is, and ledger entries from a 4-worker
+    re-run must tie to the same manifest as the serial original. ``process_faults`` *is*
     hashed (only when set — existing hashes are unchanged): injected
     crashes change which points finish.
     """
@@ -669,7 +675,9 @@ class CampaignRunner:
                  process_faults=None,
                  chunk_timeout_s: float | None = None,
                  heartbeat_timeout_s: float | None = 30.0,
-                 max_point_crashes: int = 2) -> None:
+                 max_point_crashes: int = 2,
+                 response_cache_dir: str | os.PathLike | None = None
+                 ) -> None:
         if not points:
             raise ConfigurationError("a campaign needs at least one point")
         if workers is not None and workers < 1:
@@ -697,6 +705,12 @@ class CampaignRunner:
         self.chunk_timeout_s = chunk_timeout_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.max_point_crashes = max_point_crashes
+        self.response_cache_dir = response_cache_dir
+        # per-record serialized forms (dict + rendered-JSON fragment),
+        # keyed by point key; records are frozen, so each needs
+        # serializing once per identity, not once per checkpoint
+        # rewrite (which is O(points) per finished point)
+        self._record_dicts: dict[str, tuple[PointRecord, dict, str]] = {}
         self.share_models = (share_models if share_models is not None
                              else workers is not None)
         if evaluator is not None:
@@ -830,6 +844,49 @@ class CampaignRunner:
         log_event("checkpoint_recovered", source="empty", points=0)
         return {}, []
 
+    def _record_entry(self, key: str,
+                      record: PointRecord) -> tuple[PointRecord, dict, str]:
+        """One record's serialized forms, computed once per identity.
+
+        Checkpoints rewrite every finished record after every point;
+        the records themselves are frozen, so the deep ``asdict`` walk
+        and the ``indent=1`` JSON rendering are hoisted here and only
+        re-run when a key's record object is actually replaced (e.g. a
+        resumed point re-evaluated). The fragment is pre-shifted to the
+        checkpoint's nesting depth (two levels inside the document).
+        """
+        cached = self._record_dicts.get(key)
+        if cached is None or cached[0] is not record:
+            rdict = record.to_dict()
+            frag = json.dumps(rdict, indent=1).replace("\n", "\n  ")
+            cached = (record, rdict, frag)
+            self._record_dicts[key] = cached
+        return cached
+
+    def _encode_checkpoint(self, payload: dict,
+                           records: dict[str, PointRecord]) -> str:
+        """Byte-identical to ``json.dumps(payload, indent=1)``.
+
+        The ``points`` section — the only part that grows with the
+        campaign — is assembled from the cached per-record fragments
+        instead of being re-encoded from scratch on every write;
+        encoded JSON strings never contain raw newlines, so splicing
+        pre-indented fragments is exact (pinned by the canonical-form
+        test in the campaign suite).
+        """
+        parts = []
+        for key, value in payload.items():
+            if key == "points" and value:
+                body = ",\n".join(
+                    "  " + json.dumps(k) + ": "
+                    + self._record_entry(k, records[k])[2]
+                    for k in value)
+                enc = "{\n" + body + "\n }"
+            else:
+                enc = json.dumps(value, indent=1).replace("\n", "\n ")
+            parts.append(" " + json.dumps(key) + ": " + enc)
+        return "{\n" + ",\n".join(parts) + "\n}"
+
     def _write_checkpoint(self, records: dict[str, PointRecord],
                           ledger: list[LedgerEntry],
                           manifest: dict | None = None) -> None:
@@ -847,7 +904,8 @@ class CampaignRunner:
             return
         payload = {
             "version": CHECKPOINT_VERSION,
-            "points": {k: r.to_dict() for k, r in records.items()},
+            "points": {k: self._record_entry(k, r)[1]
+                       for k, r in records.items()},
             "ledger": [e.to_dict() for e in ledger],
         }
         payload["checksum"] = _payload_digest(payload)
@@ -858,7 +916,7 @@ class CampaignRunner:
                                    prefix=path.name, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=1)
+                fh.write(self._encode_checkpoint(payload, records))
                 fh.flush()
                 os.fsync(fh.fileno())
             if path.exists():
@@ -898,6 +956,9 @@ class CampaignRunner:
                 from scratch and overwrites the checkpoint.
         """
         t0 = time.perf_counter()
+        if self.response_cache_dir is not None:
+            from ..thermal.response import configure as _configure_response
+            _configure_response(self.response_cache_dir)
         records: dict[str, PointRecord] = {}
         ledger: list[LedgerEntry] = []
         if resume:

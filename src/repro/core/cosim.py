@@ -123,6 +123,11 @@ def run_npb_comparison(chip_name: str, n_chips: int, *,
     runs through the retry policy and degradation ladder; an option
     that fails outright becomes an infeasible outcome tagged
     ``rung="failed"`` instead of aborting the comparison.
+
+    The per-option thermal searches ride the superposition kernel
+    (:mod:`repro.thermal.response`) through the model's batched
+    queries, so a comparison revisiting geometries a campaign already
+    touched evaluates without any sparse solves.
     """
     with span("power.system_config", chip=chip_name, n_chips=n_chips):
         chip = get_chip(chip_name)

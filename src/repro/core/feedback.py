@@ -68,19 +68,33 @@ def solve_with_leakage_feedback(model: ThermalModel, f_hz: float, *,
                                 ) -> FeedbackResult:
     """Iterate power(T) <-> thermal to the fixed point.
 
-    Leakage scales each die's power map by the *mean* die temperature
-    of the previous iterate (leakage is distributed like the static
-    budget, which our maps already carry; scaling the whole map by the
-    mean-temperature factor keeps the model first-order consistent
-    without re-running the power split).
+    Leakage scales each die's power by the *mean* die temperature of
+    the previous iterate (leakage is distributed like the static
+    budget, which our power model already carries; scaling the whole
+    die by the mean-temperature factor keeps the model first-order
+    consistent without re-running the power split).
+
+    When the model exposes a superposition operator the whole loop runs
+    in block-power space — every iterate is one dense matvec, and the
+    sparse solver is never touched. The rasterized-map + sparse-solve
+    loop remains as the fallback (kill switch, wrapped models).
     """
     if coeff_per_k < 0:
         raise ThermalModelError("leakage coefficient cannot be negative")
     chip = model.stack.chip
     dyn_w, stat_w = chip.dynamic_static_w(f_hz)
-    base_maps = model.power_maps(f_hz)
     stat_fraction = stat_w / (dyn_w + stat_w)
 
+    op = (model.response_operator()
+          if hasattr(model, "response_operator") else None)
+    if op is not None:
+        return _solve_feedback_dense(model, op, f_hz,
+                                     stat_fraction=stat_fraction,
+                                     coeff_per_k=coeff_per_k,
+                                     t_ref_c=t_ref_c, tol_c=tol_c,
+                                     max_iterations=max_iterations)
+
+    base_maps = model.power_maps(f_hz)
     one_shot = model.network.solve(base_maps)
     die_names = [f"die{i}" for i in range(model.stack.n_chips)]
     one_shot_max = one_shot.max_over(die_names)
@@ -91,32 +105,75 @@ def solve_with_leakage_feedback(model: ThermalModel, f_hz: float, *,
         scaled = {}
         for name in die_names:
             mean_t = float(temp.layer(name).mean())
-            leak_scale = 1.0 + coeff_per_k * (mean_t - t_ref_c)
-            leak_scale = max(leak_scale, 0.1)
-            factor = (1.0 - stat_fraction) + stat_fraction * leak_scale
+            factor = _leak_factor(mean_t, stat_fraction, coeff_per_k,
+                                  t_ref_c)
             scaled[name] = base_maps[name] * factor
         temp = model.network.solve(scaled)
         new_max = temp.max_over(die_names)
-        if abs(new_max - prev_max) < tol_c:
-            total_power = float(sum(m.sum() for m in scaled.values()))
-            return FeedbackResult(
-                f_hz=f_hz,
-                max_temp_c=new_max,
-                one_shot_temp_c=one_shot_max,
-                chip_power_w=total_power / model.stack.n_chips,
-                iterations=it,
-                runaway=False,
-            )
-        if new_max > 400.0 or not np.isfinite(new_max):
-            total_power = float(sum(m.sum() for m in scaled.values()))
-            return FeedbackResult(
-                f_hz=f_hz,
-                max_temp_c=new_max,
-                one_shot_temp_c=one_shot_max,
-                chip_power_w=total_power / model.stack.n_chips,
-                iterations=it,
-                runaway=True,
-            )
+        total = sum(float(m.sum()) for m in scaled.values())
+        outcome = _classify(f_hz, new_max, prev_max, one_shot_max, total,
+                            model.stack.n_chips, it, tol_c)
+        if outcome is not None:
+            return outcome
+        prev_max = new_max
+    raise ThermalModelError(
+        f"leakage feedback did not converge in {max_iterations} "
+        f"iterations (last delta vs previous iterate exceeded {tol_c} C)"
+    )
+
+
+def _leak_factor(mean_t_c: float, stat_fraction: float,
+                 coeff_per_k: float, t_ref_c: float) -> float:
+    """Whole-die power scale factor at a given mean die temperature."""
+    leak_scale = max(1.0 + coeff_per_k * (mean_t_c - t_ref_c), 0.1)
+    return (1.0 - stat_fraction) + stat_fraction * leak_scale
+
+
+def _classify(f_hz: float, new_max: float, prev_max: float,
+              one_shot_max: float, total_power_w: float, n_chips: int,
+              it: int, tol_c: float) -> FeedbackResult | None:
+    """Terminal check for one iterate: converged, runaway, or neither."""
+    if abs(new_max - prev_max) < tol_c:
+        runaway = False
+    elif new_max > 400.0 or not np.isfinite(new_max):
+        runaway = True
+    else:
+        return None
+    return FeedbackResult(
+        f_hz=f_hz,
+        max_temp_c=new_max,
+        one_shot_temp_c=one_shot_max,
+        chip_power_w=total_power_w / n_chips,
+        iterations=it,
+        runaway=runaway,
+    )
+
+
+def _solve_feedback_dense(model: ThermalModel, op, f_hz: float, *,
+                          stat_fraction: float, coeff_per_k: float,
+                          t_ref_c: float, tol_c: float,
+                          max_iterations: int) -> FeedbackResult:
+    """The fixed-point loop in block-power space (one matvec per turn)."""
+    from ..thermal.response import block_power_vector
+    base_p = block_power_vector(model.stack, f_hz)
+
+    t = op.temperatures(base_p)
+    one_shot_max = float(t.max())
+
+    prev_max = one_shot_max
+    for it in range(1, max_iterations + 1):
+        scaled_p = base_p.copy()
+        for i, mean_t in enumerate(op.per_die_mean(t)):
+            factor = _leak_factor(mean_t, stat_fraction, coeff_per_k,
+                                  t_ref_c)
+            scaled_p[op.die_column_slice(i)] *= factor
+        t = op.temperatures(scaled_p)
+        new_max = float(t.max())
+        outcome = _classify(f_hz, new_max, prev_max, one_shot_max,
+                            float(scaled_p.sum()), model.stack.n_chips,
+                            it, tol_c)
+        if outcome is not None:
+            return outcome
         prev_max = new_max
     raise ThermalModelError(
         f"leakage feedback did not converge in {max_iterations} "

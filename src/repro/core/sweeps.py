@@ -84,7 +84,10 @@ def _freq_point_task(payload, item) -> float:
     Module-level for pickling; workers inherit nothing but the payload,
     so each process grows its own :class:`~repro.thermal.hotspot.
     ModelCache` (factors cannot cross a pickle boundary — only results
-    come back).
+    come back). Response *operators* do cross it: with a
+    ``--response-cache-dir`` configured, the first worker to build a
+    geometry's operator persists it to the content-addressed store and
+    every other process mmap-loads it.
     """
     chip_name, threshold_c, params = payload
     cooling, n = item
@@ -190,8 +193,11 @@ def _h_point_task(payload, h: float) -> float:
     Each h changes the convection entries on G's boundary diagonal — a
     *different matrix*, not a different right-hand side — so the h sweep
     cannot ride one factorization the way a frequency ladder can
-    (:meth:`~repro.thermal.network.ThermalNetwork.solve_many`). The
-    parallel axis here is the independent factorizations themselves.
+    (:meth:`~repro.thermal.network.ThermalNetwork.solve_many`), and
+    each h is likewise its own response operator (the geometry digest
+    covers the cooling boundary). The parallel axis here is the
+    independent factorizations; a warm operator store turns a repeated
+    sweep into pure matvecs.
     """
     chip_name, n_chips, params = payload
     chip = get_chip(chip_name)
@@ -254,8 +260,8 @@ def temperature_vs_frequency(chip_name: str, cooling_name: str,
              else StackConfig(chip=chip, n_chips=n_chips))
     model = ThermalModel(stack, get_cooling(cooling_name), params)
     freqs = chip.ladder.frequencies()
-    # One multi-RHS block through the factorization instead of one
-    # triangular solve per ladder step.
+    # One batched query: a matvec per ladder step on the geometry's
+    # response operator (multi-RHS sparse solve on the fallback path).
     temps = model.max_temperatures_many([float(f) for f in freqs])
     return FreqTempSeries(
         cooling=cooling_name,
@@ -284,19 +290,17 @@ def thermal_maps_many(chip_name: str, cooling_name: str,
                       ) -> list[dict[str, np.ndarray]]:
     """Per-die temperature fields at several VFS steps, batched.
 
-    One geometry, one factorization, one (n, k) multi-RHS solve
-    (:meth:`~repro.thermal.network.ThermalNetwork.solve_many`) instead
-    of k separate :func:`thermal_maps` calls that each rebuild and
-    refactor the same network. Returns one field dict per frequency,
-    in input order.
+    One geometry, one response operator, one matvec per frequency
+    (one multi-RHS sparse solve on the fallback path) instead of k
+    separate :func:`thermal_maps` calls that each rebuild and refactor
+    the same network. Returns one field dict per frequency, in input
+    order.
     """
     chip = get_chip(chip_name)
     stack = (flip_even_layers(chip, n_chips) if flipped
              else StackConfig(chip=chip, n_chips=n_chips))
     model = ThermalModel(stack, get_cooling(cooling_name), params)
-    results = model.results_many([float(f) for f in f_hz_seq])
-    return [{name: res.layer(name) for name in model.die_names}
-            for res in results]
+    return model.die_temperature_fields_many([float(f) for f in f_hz_seq])
 
 
 def rotation_gain_c(chip_name: str, cooling_name: str, f_hz: float,

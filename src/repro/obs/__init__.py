@@ -34,6 +34,7 @@ from .manifest import (
     MANIFEST_SCHEMA,
     MANIFEST_VERSION,
     build_manifest,
+    canonical_config,
     config_hash,
     validate_manifest,
     write_manifest,
@@ -80,6 +81,7 @@ __all__ = [
     "Span",
     "Tracer",
     "build_manifest",
+    "canonical_config",
     "config_hash",
     "counter",
     "gauge",

@@ -29,6 +29,7 @@ __all__ = [
     "MANIFEST_VERSION",
     "MANIFEST_SCHEMA",
     "build_manifest",
+    "canonical_config",
     "config_hash",
     "validate_manifest",
     "write_manifest",
@@ -66,6 +67,31 @@ def _canonical(config: dict[str, Any]) -> str:
 def config_hash(config: dict[str, Any]) -> str:
     """SHA-256 of the canonical (sorted, compact) JSON of a config."""
     return hashlib.sha256(_canonical(config).encode()).hexdigest()
+
+
+def canonical_config(value: Any) -> Any:
+    """Recursively normalize a JSON-ish config for hashing.
+
+    Integral floats become ints (``6.0`` and ``6`` describe the same
+    stack height; JSON canonicalization alone would hash them apart),
+    tuples become lists, and dict keys coerce to str. Bools are left
+    alone — ``True`` is not ``1`` in a spec. Key *order* needs no
+    handling here: :func:`config_hash` already serializes with sorted
+    keys. This is the single normalization both the serving layer
+    (coalescing / result-cache keys) and the thermal response-operator
+    store (geometry keys) hash through, so the two cache families agree
+    on what "the same configuration" means.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer() \
+            and abs(value) < 2 ** 53:
+        return int(value)
+    if isinstance(value, dict):
+        return {str(k): canonical_config(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_config(v) for v in value]
+    return value
 
 
 def build_manifest(*, name: str, config: dict[str, Any],

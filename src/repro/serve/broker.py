@@ -63,7 +63,7 @@ from ..obs import (
 )
 from ..resilience import ResilienceOptions
 from .cache import ResultCache
-from .request import Job, JobState, ServeRequest, spec_hash
+from .request import Job, JobState, ServeRequest
 from .runner import PoolPayload, SpecOutcome, pool_task, \
     run_spec_resilient
 
@@ -210,7 +210,7 @@ class Broker:
             deadline_s = self.config.default_deadline_s
         request = ServeRequest(spec=spec, priority=priority,
                                deadline_s=deadline_s, label=label)
-        key = spec_hash(spec)
+        key = request.key       # hashed once at construction
         now = self._clock()
         with self._cv, span("serve.submit", key=key, priority=priority):
             if self._closed:

@@ -23,7 +23,7 @@ from typing import Any, Iterator
 
 from ..config import ExperimentSpec
 from ..errors import ConfigurationError
-from ..obs import config_hash
+from ..obs import canonical_config, config_hash
 
 __all__ = [
     "Job",
@@ -37,23 +37,12 @@ __all__ = [
 def canonical_spec_dict(value: Any) -> Any:
     """Recursively normalize a JSON-ish config for hashing.
 
-    Integral floats become ints (``6.0`` and ``6`` describe the same
-    stack height; JSON canonicalization alone would hash them apart),
-    tuples become lists, and dict keys coerce to str. Bools are left
-    alone — ``True`` is not ``1`` in a spec. Key *order* needs no
-    handling here: :func:`~repro.obs.manifest.config_hash` already
-    serializes with sorted keys.
+    Delegates to :func:`repro.obs.canonical_config` — the same
+    normalization keys the thermal response-operator store, so a spec
+    and the geometry it implies hash consistently. Kept as a re-export
+    because the serving layer's public API grew up around this name.
     """
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, float) and value.is_integer() \
-            and abs(value) < 2 ** 53:
-        return int(value)
-    if isinstance(value, dict):
-        return {str(k): canonical_spec_dict(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [canonical_spec_dict(v) for v in value]
-    return value
+    return canonical_config(value)
 
 
 def spec_hash(spec: ExperimentSpec | dict) -> str:
@@ -72,6 +61,10 @@ class ServeRequest:
         deadline_s: max seconds the request may wait in the queue
             before the broker expires it (None = no deadline).
         label: free-form client tag carried into job events.
+        key: the request's config hash — computed exactly once at
+            construction (specs are frozen, so the hash cannot drift)
+            and threaded through coalescing, the result cache, and job
+            ids instead of re-normalizing the spec per lookup.
     """
 
     spec: ExperimentSpec
@@ -82,11 +75,7 @@ class ServeRequest:
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ConfigurationError("deadline_s must be >= 0 or None")
-
-    @property
-    def key(self) -> str:
-        """The request's config hash."""
-        return spec_hash(self.spec)
+        object.__setattr__(self, "key", spec_hash(self.spec))
 
 
 class JobState:

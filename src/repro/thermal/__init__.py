@@ -44,6 +44,16 @@ from .package import (
     die_layer_names,
     stack_power_maps,
 )
+from .response import (
+    ResponseCache,
+    ResponseOperator,
+    ResponseStore,
+    block_power_vector,
+    build_response_operator,
+    geometry_digest,
+    response_cache,
+    response_enabled,
+)
 
 __all__ = [
     "Coolant",
@@ -87,6 +97,14 @@ __all__ = [
     "model_for",
     "model_cache",
     "ModelCache",
+    "ResponseOperator",
+    "ResponseCache",
+    "ResponseStore",
+    "build_response_operator",
+    "block_power_vector",
+    "geometry_digest",
+    "response_cache",
+    "response_enabled",
     "MapStats",
     "stack_stats",
     "uniformity_index",

@@ -25,6 +25,14 @@ from .package import (
     die_layer_names,
     stack_power_maps,
 )
+from .response import (
+    ResponseOperator,
+    block_power_vector,
+    build_response_operator,
+    geometry_digest,
+    response_cache,
+    response_enabled,
+)
 
 if TYPE_CHECKING:  # avoid a circular import; only needed for annotations
     from ..cooling.options import CoolingOption
@@ -35,8 +43,13 @@ class ThermalModel:
 
     The conductance matrix depends only on the configuration, so the
     sparse LU factorization is computed once and reused for every
-    frequency — a VFS ladder search costs one factorization plus a
-    handful of triangular solves.
+    frequency. Die-observable queries go further: they resolve the
+    geometry's :class:`~repro.thermal.response.ResponseOperator`
+    (content-addressed, shared in memory and on disk across models and
+    processes) and answer from ``t0 + R @ p`` — a dense matvec with no
+    sparse solve at all. Full-stack queries (:meth:`result`,
+    :meth:`results_many`) and runs with ``REPRO_RESPONSE_DISABLE`` set
+    fall back to the sparse path.
 
     Args:
         stack: the 3-D chip stack.
@@ -52,6 +65,8 @@ class ThermalModel:
         self.network: ThermalNetwork = build_network(stack, cooling, params)
         self._die_names = die_layer_names(stack)
         self._result_cache: dict[float, ThermalResult] = {}
+        self._response_op: ResponseOperator | None = None
+        self._response_temp_cache: dict[float, np.ndarray] = {}
 
     @property
     def die_names(self) -> tuple[str, ...]:
@@ -97,32 +112,91 @@ class ThermalModel:
                 self._result_cache[key] = res
         return [self._result_cache[key] for key in keys]
 
+    def response_operator(self) -> ResponseOperator | None:
+        """This geometry's superposition operator (None = disabled).
+
+        Resolved through the process-wide content-addressed cache
+        (memory over disk over build), so sibling models, pool workers,
+        and the serve broker all share one dense operator per geometry.
+        """
+        if not response_enabled():
+            return None
+        if self._response_op is None:
+            digest = geometry_digest(self.stack, self.cooling, self.params)
+            self._response_op = response_cache().get_or_build(
+                digest,
+                lambda: build_response_operator(
+                    self.stack, self.cooling, self.params,
+                    network=self.network))
+        return self._response_op
+
+    def _response_temps(self, f_hz: float) -> np.ndarray | None:
+        """Die temperatures via the operator (cached per frequency).
+
+        Always a single matvec per frequency — never a batched matmul —
+        so scalar probes and ladder batches record bitwise-identical
+        temperatures (checkpoint byte-identity depends on it).
+        """
+        op = self.response_operator()
+        if op is None:
+            return None
+        key = round(float(f_hz), 3)
+        t = self._response_temp_cache.get(key)
+        if t is None:
+            t = op.temperatures(block_power_vector(self.stack, float(f_hz)))
+            self._response_temp_cache[key] = t
+        return t
+
     def max_temperature_c(self, f_hz: float) -> float:
         """Hottest die-cell temperature at a VFS step, Celsius.
 
         The paper's constraint applies to junction temperature, so only
         die layers are inspected (the heatsink is always cooler).
         """
+        t = self._response_temps(f_hz)
+        if t is not None:
+            return float(t.max())
         return self.result(f_hz).max_over(self._die_names)
 
     def max_temperatures_many(self, f_hz_seq) -> tuple[float, ...]:
         """Hottest die-cell temperature at each VFS step, batched.
 
-        The multi-RHS counterpart of :meth:`max_temperature_c`: the
+        The batched counterpart of :meth:`max_temperature_c`: the
         frequency optimizer evaluates whole ladder brackets per probe
         round through this method, and the ladder sweeps solve every
-        step of a figure in one call.
+        step of a figure in one call. With the response operator this
+        is a matvec per step; the sparse fallback pushes all steps
+        through one multi-RHS solve.
         """
+        op = self.response_operator()
+        if op is not None:
+            return tuple(float(self._response_temps(f).max())
+                         for f in f_hz_seq)
         return tuple(res.max_over(self._die_names)
                      for res in self.results_many(f_hz_seq))
 
     def die_temperature_fields(self, f_hz: float) -> dict[str, np.ndarray]:
         """Per-die (grid, grid) temperature fields — the Figs. 9/16/18 maps."""
+        op = self.response_operator()
+        if op is not None:
+            return op.die_fields(self._response_temps(f_hz))
         res = self.result(f_hz)
         return {name: res.layer(name) for name in self._die_names}
 
+    def die_temperature_fields_many(self, f_hz_seq
+                                    ) -> list[dict[str, np.ndarray]]:
+        """Per-die temperature fields at several VFS steps, batched."""
+        op = self.response_operator()
+        if op is not None:
+            return [op.die_fields(self._response_temps(f)) for f in f_hz_seq]
+        return [{name: res.layer(name) for name in self._die_names}
+                for res in self.results_many(f_hz_seq)]
+
     def per_die_max_c(self, f_hz: float) -> tuple[float, ...]:
         """Maximum temperature of each die, bottom first."""
+        op = self.response_operator()
+        if op is not None:
+            return op.per_die_max(self._response_temps(f_hz))
         res = self.result(f_hz)
         return tuple(res.max_of(name) for name in self._die_names)
 

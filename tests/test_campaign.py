@@ -225,6 +225,19 @@ class TestCampaignRuns:
                                params=fast_params).run(resume=False)
         assert fresh.evaluated == 1 and fresh.skipped == 0
 
+    def test_checkpoint_is_canonical_indent1_json(self, tmp_path,
+                                                  fast_params):
+        """The incremental fragment encoder must stay byte-identical
+        to ``json.dumps(payload, indent=1)`` — byte-level checkpoint
+        comparisons (serial vs workers, cache on vs off) ride on it."""
+        import json
+        ck = tmp_path / "c.json"
+        pts = frequency_grid("low-power-cmp", (2, 4), ("water", "air"))
+        CampaignRunner(pts, resilience=options(), checkpoint_path=ck,
+                       params=fast_params).run()
+        text = ck.read_text()
+        assert text == json.dumps(json.loads(text), indent=1)
+
     def test_no_checkpoint_path_runs_in_memory(self, fast_params):
         pts = frequency_grid("low-power-cmp", (2,), ("water",))
         result = CampaignRunner(pts, resilience=options(),

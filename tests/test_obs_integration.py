@@ -86,15 +86,20 @@ class TestPipelineCounters:
         from repro.cooling.options import get_cooling
         from repro.power.processors import get_chip
         from repro.stack.chipstack import StackConfig
+        from repro.thermal import response_cache
         from repro.thermal.hotspot import ThermalModel
+        response_cache().clear()
         fact0 = counter_value("thermal.splu_factorizations")
         solve0 = counter_value("thermal.solves")
         model = ThermalModel(
             StackConfig(chip=get_chip("low-power-cmp"), n_chips=1),
             get_cooling("water"), fast_params)
         model.max_temperature_c(2.0e9)
+        # The superposition kernel answers this by building the
+        # geometry's response operator: one factorization, one
+        # multi-RHS solve counting each unit-power column as a solve.
         assert counter_value("thermal.splu_factorizations") == fact0 + 1
-        assert counter_value("thermal.solves") == solve0 + 1
+        assert counter_value("thermal.solves") > solve0
         hist = get_registry().histogram("thermal.solve_seconds")
         assert hist.count >= 1
 
