@@ -1,0 +1,73 @@
+"""Fleet-simulator throughput and the policy comparison.
+
+Times one 8-tank / 128-board, 3-sim-hour scenario per placement policy
+(the stall-prone operating point: warm supply, weak exchanger, strong
+loop coupling) and regenerates the policy-comparison table the paper's
+macro argument rests on — thermal-aware placement sustains more
+throughput per joule than thermally blind round-robin once the coolant
+loop couples tanks.
+
+``scripts/bench_to_json.py --bench fleet`` measures the full
+acceptance-bar fleet (16 tanks / 512 boards, 24 sim-hours, parallel
+campaign) and emits ``BENCH_fleet.json`` for the CI artifact trail.
+"""
+
+from __future__ import annotations
+
+from repro.fleet import (
+    FleetConfig,
+    FleetScenario,
+    POLICY_NAMES,
+    WorkloadConfig,
+    simulate,
+)
+
+#: The regime where placement decides whether center tanks stall:
+#: hot supply, weak exchange, small thermal mass (fast dynamics).
+FLEET = FleetConfig(n_tanks=8, boards_per_tank=16,
+                    supply_temp_c=58.0, exchange_flow_m3_s=5e-5,
+                    tank_volume_m3=0.1)
+WORKLOAD = WorkloadConfig(rate_per_s=0.15, work_gcycles=600.0)
+HOURS = 3.0
+
+
+def scenario(policy: str) -> FleetScenario:
+    return FleetScenario(fleet=FLEET, workload=WORKLOAD, policy=policy,
+                         seed=7, duration_s=HOURS * 3600.0)
+
+
+def test_simulate_round_robin(benchmark):
+    result = benchmark(simulate, scenario("round-robin"))
+    assert result.jobs_completed > 0
+    assert result.conservation_relative_residual < 1e-6
+
+
+def test_simulate_least_loaded(benchmark):
+    result = benchmark(simulate, scenario("least-loaded"))
+    assert result.jobs_completed > 0
+    assert result.conservation_relative_residual < 1e-6
+
+
+def test_simulate_thermal_aware(benchmark):
+    result = benchmark(simulate, scenario("thermal-aware"))
+    assert result.jobs_completed > 0
+    assert result.conservation_relative_residual < 1e-6
+
+
+def test_policy_comparison_table(save_artifact):
+    """The headline table: thermal-aware beats round-robin on sustained
+    throughput (and work per joule) at equal offered load."""
+    results = {p: simulate(scenario(p)) for p in POLICY_NAMES}
+    lines = [f"{'policy':<14} {'Gc/s':>8} {'work/MJ':>9} {'stalls':>8} "
+             f"{'pending':>8} {'PUE':>7}"]
+    for policy, r in results.items():
+        lines.append(f"{policy:<14} {r.throughput_gcps:>8.2f} "
+                     f"{r.work_per_mj:>9.1f} "
+                     f"{r.stalled_board_steps:>8} "
+                     f"{r.jobs_pending_end:>8} {r.account.pue:>7.4f}")
+    save_artifact("fleet_policy_comparison", "\n".join(lines))
+
+    ta, rr = results["thermal-aware"], results["round-robin"]
+    assert ta.throughput_gcps > rr.throughput_gcps
+    assert ta.work_per_mj > rr.work_per_mj
+    assert ta.stalled_board_steps < rr.stalled_board_steps

@@ -44,6 +44,16 @@ the crash-recovery latency, and exits nonzero unless the overhead is
 below 5%, the faulted run's results are identical to the clean run's,
 and the supervisor actually restarted a worker.
 
+``--bench fleet`` runs the acceptance-bar fleet simulation (16 tanks /
+512 boards, 24 simulated hours by default) once per placement policy —
+serial, timed — then re-runs the whole policy set as a parallel
+campaign on ``--fleet-workers`` processes. It emits per-policy
+boards/sec and sim-hours/sec rates plus the policy comparison
+(throughput, work per MJ, PUE, stalls), and exits nonzero unless
+thermal-aware beats round-robin on sustained throughput at equal
+energy, the parallel campaign document is byte-identical to the serial
+one, and the campaign finishes under the 60 s acceptance bar.
+
 Wall-clock speedups from extra workers obviously require extra cores;
 ``cpu_count`` is recorded so a 1-core container's numbers are not
 mistaken for a regression.
@@ -72,6 +82,9 @@ Usage::
         [--serve-workers 2] [--client-threads 8]
     PYTHONPATH=src python scripts/bench_to_json.py --bench supervisor \
         [--out BENCH_supervisor.json] [--spin 300000] [--repeat 3]
+    PYTHONPATH=src python scripts/bench_to_json.py --bench fleet \
+        [--out BENCH_fleet.json] [--fleet-tanks 16] [--fleet-boards 32] \
+        [--fleet-hours 24] [--fleet-workers 4]
 """
 
 from __future__ import annotations
@@ -568,6 +581,114 @@ def run_supervisor(args) -> int:
     return 0 if ok else 1
 
 
+def bench_fleet(args) -> dict:
+    """The fleet acceptance benchmark: timing + policy comparison."""
+    from repro.fleet import (
+        FleetConfig,
+        FleetScenario,
+        POLICY_NAMES,
+        WorkloadConfig,
+        results_json,
+        run_scenarios,
+        simulate,
+    )
+
+    fleet = FleetConfig(n_tanks=args.fleet_tanks,
+                        boards_per_tank=args.fleet_boards,
+                        supply_temp_c=58.0, exchange_flow_m3_s=1e-4)
+    # offered load scales with the board count so the operating point
+    # (utilization in the stall-prone band) survives resizing
+    workload = WorkloadConfig(
+        rate_per_s=0.6 * fleet.n_boards / 512.0, work_gcycles=600.0)
+    scenarios = [
+        FleetScenario(fleet=fleet, workload=workload, policy=policy,
+                      seed=7, duration_s=args.fleet_hours * 3600.0)
+        for policy in POLICY_NAMES
+    ]
+
+    sim_hours = args.fleet_hours
+    policies: dict[str, dict] = {}
+    serial_results = []
+    for scenario in scenarios:
+        best = float("inf")
+        result = None
+        for _ in range(max(1, args.repeat)):
+            t0 = time.perf_counter()
+            result = simulate(scenario)
+            best = min(best, time.perf_counter() - t0)
+        serial_results.append(result)
+        policies[scenario.policy] = {
+            "seconds": round(best, 4),
+            "boards_per_s": round(fleet.n_boards * result.steps / best, 1),
+            "sim_hours_per_s": round(sim_hours / best, 2),
+            "throughput_gcps": round(result.throughput_gcps, 3),
+            "work_per_mj": round(result.work_per_mj, 2),
+            "pue": round(result.account.pue, 5),
+            "total_energy_j": result.account.total_energy_j,
+            "stalled_board_steps": result.stalled_board_steps,
+            "throttled_board_steps": result.throttled_board_steps,
+            "jobs_pending_end": result.jobs_pending_end,
+        }
+
+    t0 = time.perf_counter()
+    campaign_results = run_scenarios(scenarios,
+                                     workers=args.fleet_workers)
+    campaign_wall = time.perf_counter() - t0
+    identical = (results_json(campaign_results)
+                 == results_json(serial_results))
+
+    ta = policies["thermal-aware"]
+    rr = policies["round-robin"]
+    energy_close = (abs(ta["total_energy_j"] - rr["total_energy_j"])
+                    <= 0.05 * rr["total_energy_j"])
+    return {
+        "bench": "fleet",
+        "cpu_count": os.cpu_count(),
+        "tanks": fleet.n_tanks,
+        "boards": fleet.n_boards,
+        "sim_hours": sim_hours,
+        "steps": scenarios[0].n_steps,
+        "policies": policies,
+        "campaign": {
+            "workers": args.fleet_workers,
+            "scenarios": len(scenarios),
+            "wall_s": round(campaign_wall, 4),
+            "under_60s": campaign_wall < 60.0,
+            "byte_identical_to_serial": identical,
+        },
+        "thermal_aware_beats_round_robin": (
+            ta["throughput_gcps"] > rr["throughput_gcps"]
+            and ta["work_per_mj"] > rr["work_per_mj"]),
+        "energy_within_5pct": energy_close,
+    }
+
+
+def run_fleet(args) -> int:
+    out = bench_fleet(args)
+    Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    for policy, p in out["policies"].items():
+        print(f"{policy}: {p['seconds']}s "
+              f"({p['sim_hours_per_s']} sim-h/s, "
+              f"{p['boards_per_s']:.0f} board-steps/s), "
+              f"{p['throughput_gcps']} Gc/s, "
+              f"{p['work_per_mj']} Gc/MJ, "
+              f"{p['stalled_board_steps']} stalled board-steps")
+    c = out["campaign"]
+    print(f"campaign: {c['scenarios']} scenarios on "
+          f"{c['workers']} workers in {c['wall_s']}s "
+          f"(byte-identical to serial: "
+          f"{c['byte_identical_to_serial']})")
+    print(f"wrote {args.out}")
+    ok = (out["thermal_aware_beats_round_robin"]
+          and out["energy_within_5pct"]
+          and c["byte_identical_to_serial"]
+          and c["under_60s"])
+    if not ok:
+        print("fleet bench FAILED its acceptance assertions",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _flatten_timings(doc: dict) -> dict[str, float]:
     """Pull the comparable timing metrics out of a bench document.
 
@@ -589,6 +710,12 @@ def _flatten_timings(doc: dict) -> dict[str, float]:
     elif bench == "supervisor":
         for mode, secs in doc.get("seconds", {}).items():
             metrics[f"seconds.{mode}"] = float(secs)
+    elif bench == "fleet":
+        for policy, p in doc.get("policies", {}).items():
+            metrics[f"policies.{policy}.seconds"] = \
+                float(p.get("seconds", 0.0))
+        metrics["campaign.wall_s"] = float(
+            doc.get("campaign", {}).get("wall_s", 0.0))
     return {k: v for k, v in metrics.items() if v > 0}
 
 
@@ -658,7 +785,7 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench",
                     choices=("parallel", "response", "serve",
-                             "supervisor"),
+                             "supervisor", "fleet"),
                     default="parallel")
     ap.add_argument("--out", default=None,
                     help="output path (default BENCH_<bench>.json)")
@@ -680,6 +807,14 @@ def main(argv=None) -> int:
                     help="serve: broker admission bound")
     ap.add_argument("--spin", type=int, default=300_000,
                     help="supervisor: busy-loop iterations per item")
+    ap.add_argument("--fleet-tanks", type=int, default=16,
+                    help="fleet: immersion tanks in the simulated plant")
+    ap.add_argument("--fleet-boards", type=int, default=32,
+                    help="fleet: boards per tank")
+    ap.add_argument("--fleet-hours", type=float, default=24.0,
+                    help="fleet: simulated hours per scenario")
+    ap.add_argument("--fleet-workers", type=int, default=4,
+                    help="fleet: campaign worker processes")
     ap.add_argument("--speedup-target", type=float, default=5.0,
                     help="response: minimum warm-vs-sparse speedup "
                          "before the bench fails")
@@ -702,6 +837,8 @@ def main(argv=None) -> int:
         rc = run_supervisor(args)
     elif args.bench == "response":
         rc = run_response(args)
+    elif args.bench == "fleet":
+        rc = run_fleet(args)
     else:
         out = {
             "bench": "parallel_campaign",

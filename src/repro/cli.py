@@ -483,6 +483,15 @@ def _submit_and_report(args: argparse.Namespace, client) -> int:
               file=sys.stderr)
         return 1
     r = doc["result"]
+    if r.get("scenario", {}).get("kind") == "fleet":
+        sc, jobs, th = r["scenario"], r["jobs"], r["thermal"]
+        print(f"fleet {sc['policy']} seed {sc['seed']}: "
+              f"{jobs['completed']}/{jobs['arrived']} jobs, "
+              f"{r['throughput_gcps']:.2f} Gcycles/s, "
+              f"PUE {r['energy']['pue']:.4f}, "
+              f"water max {th['max_water_temp_c']:.2f} C"
+              f"{' [degraded: ' + doc['rung'] + ']' if doc['degraded'] else ''}")
+        return 0
     if not r["feasible"]:
         print(f"infeasible (coolest achievable maximum "
               f"{r['max_temp_c']:.1f} C)")
@@ -841,6 +850,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--draws", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_robustness)
+
+    # `repro fleet run` / `repro fleet sweep` live in their own module
+    # (repro.fleet.cli); it registers obs flags on its leaves itself.
+    from .fleet.cli import register as register_fleet
+    register_fleet(sub, add_obs_flags=_add_obs_flags,
+                   add_response_cache=add_response_cache)
 
     # Accept the observability flags after the subcommand too
     # (`repro campaign --trace-out t.json ...`). Values parsed by the

@@ -1,0 +1,171 @@
+"""Shared facility energy/PUE bookkeeping.
+
+One ledger definition for every layer that reports facility energy —
+:mod:`repro.cooling.pue` (facility styles), :mod:`repro.core.energy`
+(per-run wall energy), and :mod:`repro.fleet` (simulated datacenters) —
+so chip-, tank-, and fleet-level reports cannot drift apart on units or
+on what counts as overhead.
+
+Two conventions, used consistently everywhere:
+
+* **PUE** (power usage effectiveness) = total facility energy / IT
+  energy. Stage-fraction form: ``1 + cooling_overhead +
+  non_cooling_overhead`` where each overhead is a fraction *of IT
+  power* (:func:`pue_from_overheads`). Measured form: the
+  :attr:`EnergyAccount.pue` property over integrated joules.
+* **ERE** (energy reuse effectiveness, the iDataCool metric) =
+  (total - reused) / IT. With no reuse, ERE == PUE.
+
+Every quantity in an :class:`EnergyAccount` is energy in joules; the
+helpers also apply cleanly to *power* snapshots (watts) because PUE and
+ERE are ratios — but never mix the two in one account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pue import CoolingFacility
+
+__all__ = [
+    "EnergyAccount",
+    "facility_account",
+    "pue_from_overheads",
+    "wall_energy_j",
+]
+
+
+def pue_from_overheads(cooling_overhead_fraction: float,
+                       non_cooling_overhead_fraction: float) -> float:
+    """PUE from overhead fractions of IT power.
+
+    The single formula behind :meth:`~repro.cooling.pue.CoolingFacility.
+    pue` and the fleet simulator's nominal PUE, so the two can never
+    disagree on the convention.
+    """
+    if cooling_overhead_fraction < 0:
+        raise ConfigurationError(
+            f"cooling overhead cannot be negative, got "
+            f"{cooling_overhead_fraction}")
+    if non_cooling_overhead_fraction < 0:
+        raise ConfigurationError(
+            f"non-cooling overhead cannot be negative, got "
+            f"{non_cooling_overhead_fraction}")
+    return 1.0 + cooling_overhead_fraction + non_cooling_overhead_fraction
+
+
+def wall_energy_j(chip_energy_j: float, pue: float) -> float:
+    """Facility (wall) energy for a given IT energy and PUE.
+
+    Used by :func:`repro.core.energy.energy_outcomes`; the inverse of
+    the :attr:`EnergyAccount.pue` ratio.
+    """
+    if chip_energy_j < 0:
+        raise ConfigurationError(
+            f"IT energy cannot be negative, got {chip_energy_j}")
+    if pue < 1.0:
+        raise ConfigurationError(
+            f"PUE cannot be below 1.0, got {pue}")
+    return chip_energy_j * pue
+
+
+@dataclass(frozen=True)
+class EnergyAccount:
+    """A facility energy ledger over one interval.
+
+    Attributes:
+        it_energy_j: energy consumed by the IT equipment itself (the
+            boards — the quantity PUE normalizes by).
+        cooling_energy_j: pump / exchanger / chiller energy.
+        other_energy_j: non-cooling overhead (power distribution,
+            lighting).
+        reused_energy_j: heat exported to a consumer (district heating,
+            iDataCool-style adsorption chillers) — credited by ERE,
+            never by PUE.
+    """
+
+    it_energy_j: float
+    cooling_energy_j: float = 0.0
+    other_energy_j: float = 0.0
+    reused_energy_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("it_energy_j", "cooling_energy_j",
+                           "other_energy_j", "reused_energy_j"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{field_name} cannot be negative, got {value}")
+
+    @property
+    def total_energy_j(self) -> float:
+        """Everything the facility drew from the wall."""
+        return (self.it_energy_j + self.cooling_energy_j
+                + self.other_energy_j)
+
+    @property
+    def pue(self) -> float:
+        """Power usage effectiveness = total / IT."""
+        if self.it_energy_j <= 0:
+            raise ConfigurationError(
+                "PUE is undefined with zero IT energy")
+        return self.total_energy_j / self.it_energy_j
+
+    @property
+    def ere(self) -> float:
+        """Energy reuse effectiveness = (total - reused) / IT."""
+        if self.it_energy_j <= 0:
+            raise ConfigurationError(
+                "ERE is undefined with zero IT energy")
+        return ((self.total_energy_j - self.reused_energy_j)
+                / self.it_energy_j)
+
+    def __add__(self, other: "EnergyAccount") -> "EnergyAccount":
+        """Combine ledgers (e.g. per-tank accounts into a facility)."""
+        if not isinstance(other, EnergyAccount):
+            return NotImplemented
+        return EnergyAccount(
+            it_energy_j=self.it_energy_j + other.it_energy_j,
+            cooling_energy_j=(self.cooling_energy_j
+                              + other.cooling_energy_j),
+            other_energy_j=self.other_energy_j + other.other_energy_j,
+            reused_energy_j=(self.reused_energy_j
+                             + other.reused_energy_j),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (ratios included when defined)."""
+        out: dict[str, Any] = {
+            "it_energy_j": self.it_energy_j,
+            "cooling_energy_j": self.cooling_energy_j,
+            "other_energy_j": self.other_energy_j,
+            "reused_energy_j": self.reused_energy_j,
+            "total_energy_j": self.total_energy_j,
+        }
+        if self.it_energy_j > 0:
+            out["pue"] = self.pue
+            out["ere"] = self.ere
+        return out
+
+
+def facility_account(it_energy_j: float,
+                     facility: "CoolingFacility") -> EnergyAccount:
+    """The ledger a facility style implies for a given IT energy.
+
+    Splits the facility's overhead fractions into the account's
+    cooling / non-cooling buckets, so ``facility_account(e, f).pue ==
+    f.pue()`` by construction (pinned in ``tests/test_fleet.py``).
+    """
+    if it_energy_j <= 0:
+        raise ConfigurationError(
+            f"IT energy must be positive, got {it_energy_j}")
+    return EnergyAccount(
+        it_energy_j=it_energy_j,
+        cooling_energy_j=it_energy_j * facility.cooling_overhead(),
+        other_energy_j=(it_energy_j
+                        * facility.non_cooling_overhead_fraction),
+    )

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from .accounting import facility_account, pue_from_overheads, \
+    wall_energy_j
 
 
 @dataclass(frozen=True)
@@ -63,9 +65,15 @@ class CoolingFacility:
         return sum(s.overhead_fraction for s in self.stages)
 
     def pue(self) -> float:
-        """Power usage effectiveness = total / IT power."""
-        return (1.0 + self.cooling_overhead()
-                + self.non_cooling_overhead_fraction)
+        """Power usage effectiveness = total / IT power.
+
+        Computed by the shared ledger helper
+        (:func:`repro.cooling.accounting.pue_from_overheads`) — the
+        same convention :mod:`repro.core.energy` and
+        :mod:`repro.fleet` report under.
+        """
+        return pue_from_overheads(self.cooling_overhead(),
+                                  self.non_cooling_overhead_fraction)
 
 
 AIR_CRAC = CoolingFacility(
@@ -132,11 +140,20 @@ def datacenter_power_kw(it_power_kw: float, facility: CoolingFacility
         raise ConfigurationError(
             f"IT power must be positive, got {it_power_kw}"
         )
-    return it_power_kw * facility.pue()
+    return wall_energy_j(it_power_kw, facility.pue())
 
 
 def annual_cooling_energy_mwh(it_power_kw: float,
                               facility: CoolingFacility) -> float:
-    """Cooling (non-IT) energy per year, MWh."""
-    overhead_kw = it_power_kw * (facility.pue() - 1.0)
-    return overhead_kw * 8760.0 / 1000.0
+    """Overhead (non-IT) energy per year, MWh.
+
+    Routed through the shared :class:`~repro.cooling.accounting.
+    EnergyAccount` ledger in joules, then converted — the same split
+    (cooling + non-cooling buckets) the fleet simulator integrates, so
+    the two cannot drift. Covers *all* non-IT overhead, cooling and
+    distribution/lighting alike (the quantity ``PUE - 1`` prices).
+    """
+    it_energy_j = it_power_kw * 1e3 * 8760.0 * 3600.0
+    account = facility_account(it_energy_j, facility)
+    overhead_j = account.cooling_energy_j + account.other_energy_j
+    return overhead_j / 3.6e9   # J -> MWh

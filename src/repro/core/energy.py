@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..cooling.accounting import wall_energy_j
 from ..errors import InfeasibleError
 from .cosim import NpbComparison
 
@@ -53,13 +54,15 @@ def energy_outcomes(cmp_: NpbComparison) -> tuple[EnergyOutcome, ...]:
         mean_t = sum(times) / len(times)
         power = o.point.total_power_w
         energy = power * mean_t
+        # the shared ledger helper keeps this the same wall-energy
+        # convention cooling.pue and repro.fleet report under
         pue = _FACILITY_OF[o.cooling].pue()
         out.append(EnergyOutcome(
             cooling=o.cooling,
             f_ghz=o.point.f_ghz,
             mean_time_s=mean_t,
             chip_energy_j=energy,
-            wall_energy_j=energy * pue,
+            wall_energy_j=wall_energy_j(energy, pue),
             edp=energy * mean_t,
         ))
     if not out:

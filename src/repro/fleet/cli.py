@@ -1,0 +1,247 @@
+"""``repro fleet`` — the fleet simulator's command-line surface.
+
+Kept out of :mod:`repro.cli` (which wires every subcommand) so the
+fleet surface can grow without pushing the main module past readable:
+:func:`register` is the single hook the root parser calls.
+
+Two verbs:
+
+* ``repro fleet run`` — one scenario end to end; prints the
+  throughput / energy / thermal summary, optionally writes the
+  canonical result JSON (``--out``) and streams the event log
+  (``--events-out``).
+* ``repro fleet sweep`` — a policy x seed campaign on the parallel
+  engine (``--workers``); prints the policy comparison and optionally
+  writes the canonical campaign document, byte-identical at every
+  worker count.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["register"]
+
+
+def register(sub, *, add_obs_flags, add_response_cache) -> None:
+    """Attach the ``fleet`` subcommand to the root subparsers.
+
+    Args:
+        sub: the root parser's subparsers object.
+        add_obs_flags: adds the global observability flags (the leaves
+            need them too, so they parse after the verb).
+        add_response_cache: adds ``--response-cache-dir``.
+    """
+    fleet = sub.add_parser(
+        "fleet",
+        help="datacenter-scale fleet simulation: immersion tanks on a "
+             "shared coolant loop, thermal-aware scheduling, "
+             "energy/PUE accounting")
+    verbs = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    run = verbs.add_parser(
+        "run", help="simulate one scenario and print the summary")
+    _add_scenario_flags(run)
+    run.add_argument("--policy", default="thermal-aware",
+                     help="placement policy (see `fleet sweep` for the "
+                          "comparison)")
+    run.add_argument("--out", default=None, metavar="PATH",
+                     help="write the canonical result JSON there")
+    run.add_argument("--events-out", default=None, metavar="PATH",
+                     help="stream the canonical event log (JSON lines) "
+                          "there")
+    add_response_cache(run)
+    add_obs_flags(run)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = verbs.add_parser(
+        "sweep",
+        help="policy x seed campaign; prints the policy comparison")
+    _add_scenario_flags(sweep)
+    sweep.add_argument("--policies", nargs="*", default=None,
+                       help="policies to compare (default: all)")
+    sweep.add_argument("--seeds", type=int, nargs="*", default=None,
+                       help="seeds per policy (default: the --seed "
+                            "value)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="evaluate scenarios over N worker processes "
+                            "(default: in-process serial; the campaign "
+                            "document is byte-identical either way)")
+    sweep.add_argument("--chunk-size", type=int, default=None,
+                       metavar="N", help="scenarios per worker dispatch")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the canonical campaign JSON there")
+    add_response_cache(sweep)
+    add_obs_flags(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+
+def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
+    """Plant + workload + duration flags shared by both verbs."""
+    plant = p.add_argument_group("plant")
+    plant.add_argument("--tanks", type=int, default=4,
+                       help="immersion tanks on the facility loop")
+    plant.add_argument("--boards", type=int, default=16,
+                       help="boards per tank")
+    plant.add_argument("--chip", default="low-power-cmp",
+                       help="library chip per board stack")
+    plant.add_argument("--chips", type=int, default=4,
+                       help="chips stacked per board")
+    plant.add_argument("--cooling", default="water",
+                       help="per-board cooling option")
+    plant.add_argument("--threshold", type=float, default=None,
+                       metavar="C", help="DTM cap (default: the chip's)")
+    plant.add_argument("--supply", type=float, default=30.0,
+                       metavar="C", help="facility supply water "
+                                         "temperature")
+    plant.add_argument("--flow", type=float, default=2.0e-4,
+                       metavar="M3_S", help="per-tank exchanger flow")
+    plant.add_argument("--effectiveness", type=float, default=0.9,
+                       help="heat-exchanger effectiveness in (0, 1]")
+    plant.add_argument("--volume", type=float, default=0.5,
+                       metavar="M3", help="water volume per tank")
+    plant.add_argument("--coupling", type=float, default=0.35,
+                       help="neighbor inlet-coupling fraction in [0, 1)")
+    plant.add_argument("--pump-power", type=float, default=120.0,
+                       metavar="W", help="per-tank pump draw (cooling "
+                                         "overhead)")
+    plant.add_argument("--slots", type=int, default=1,
+                       help="concurrent jobs per board")
+    plant.add_argument("--idle-power", type=float, default=15.0,
+                       metavar="W", help="per-board power at zero load")
+    plant.add_argument("--reuse", type=float, default=0.0,
+                       help="fraction of rejected heat exported "
+                            "(credited by ERE)")
+    plant.add_argument("--overhead", type=float, default=0.02,
+                       help="non-cooling facility overhead fraction")
+    work = p.add_argument_group("workload")
+    work.add_argument("--rate", type=float, default=0.5,
+                      help="mean job arrivals per second")
+    work.add_argument("--work", type=float, default=600.0,
+                      metavar="GCYCLES", help="mean job length")
+    work.add_argument("--jitter", type=float, default=0.5,
+                      help="job-length spread fraction in [0, 1)")
+    work.add_argument("--max-jobs", type=int, default=None,
+                      help="cap on generated arrivals")
+    p.add_argument("--hours", type=float, default=1.0,
+                   help="simulated hours")
+    p.add_argument("--step", type=float, default=30.0,
+                   metavar="SECONDS", help="simulation step")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base RNG seed (arrivals derive from it)")
+    p.add_argument("--label", default="", help="tag carried into "
+                                               "results and logs")
+
+
+def _scenario_from_args(args: argparse.Namespace, *, policy: str,
+                        seed: int):
+    from .model import FleetConfig, FleetScenario
+    from .workload import WorkloadConfig
+
+    fleet = FleetConfig(
+        n_tanks=args.tanks,
+        boards_per_tank=args.boards,
+        chip=args.chip,
+        n_chips=args.chips,
+        cooling=args.cooling,
+        threshold_c=args.threshold,
+        supply_temp_c=args.supply,
+        exchange_flow_m3_s=args.flow,
+        exchanger_effectiveness=args.effectiveness,
+        tank_volume_m3=args.volume,
+        coupling=args.coupling,
+        pump_power_w=args.pump_power,
+        slots_per_board=args.slots,
+        idle_power_w=args.idle_power,
+        reuse_fraction=args.reuse,
+        non_cooling_overhead_fraction=args.overhead,
+        step_s=args.step,
+    )
+    workload = WorkloadConfig(rate_per_s=args.rate,
+                              work_gcycles=args.work,
+                              work_jitter=args.jitter,
+                              max_jobs=args.max_jobs)
+    return FleetScenario(fleet=fleet, workload=workload, policy=policy,
+                         seed=seed, duration_s=args.hours * 3600.0,
+                         label=args.label)
+
+
+def _configure_cache(args: argparse.Namespace) -> None:
+    if getattr(args, "response_cache_dir", None):
+        from ..thermal.response import configure as configure_response
+        configure_response(args.response_cache_dir)
+
+
+def _print_result(r) -> None:
+    a = r.account
+    print(f"policy {r.scenario.policy}  seed {r.scenario.seed}  "
+          f"{r.scenario.fleet.n_tanks} tanks x "
+          f"{r.scenario.fleet.boards_per_tank} boards  "
+          f"{r.duration_s / 3600:.2f} sim-hours")
+    print(f"  jobs       arrived {r.jobs_arrived}  dispatched "
+          f"{r.jobs_dispatched}  completed {r.jobs_completed}  "
+          f"pending {r.jobs_pending_end}  running {r.jobs_running_end}")
+    print(f"  throughput {r.throughput_gcps:.2f} Gcycles/s sustained  "
+          f"({r.work_done_gcycles:.0f} Gcycles total)")
+    print(f"  energy     IT {a.it_energy_j / 1e6:.1f} MJ  cooling "
+          f"{a.cooling_energy_j / 1e6:.1f} MJ  other "
+          f"{a.other_energy_j / 1e6:.1f} MJ  PUE {a.pue:.4f}  "
+          f"ERE {a.ere:.4f}  work/MJ {r.work_per_mj:.1f}")
+    print(f"  thermal    water max {r.max_water_temp_c:.2f} C  "
+          f"throttled board-steps {r.throttled_board_steps}  "
+          f"stalled {r.stalled_board_steps}")
+    print(f"  ledger     generated {r.generated_j / 1e6:.3f} MJ = "
+          f"removed {r.removed_j / 1e6:.3f} + stored "
+          f"{r.stored_j / 1e6:.3f} (residual "
+          f"{r.conservation_relative_residual:.1e} rel)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .sim import simulate
+
+    _configure_cache(args)
+    scenario = _scenario_from_args(args, policy=args.policy,
+                                   seed=args.seed)
+    if args.events_out:
+        with open(args.events_out, "w", encoding="utf-8") as fh:
+            result = simulate(scenario, events_file=fh)
+    else:
+        result = simulate(scenario)
+    _print_result(result)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"result JSON written to {args.out}")
+    if args.events_out:
+        print(f"event log written to {args.events_out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .policies import POLICY_NAMES
+    from .sim import results_json, run_scenarios
+
+    _configure_cache(args)
+    policies = tuple(args.policies) if args.policies else POLICY_NAMES
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    scenarios = [
+        _scenario_from_args(args, policy=policy, seed=seed)
+        for policy in policies for seed in seeds
+    ]
+    results = run_scenarios(scenarios, workers=args.workers,
+                            chunk_size=args.chunk_size)
+
+    header = (f"{'policy':<14} {'seed':>5} {'Gc/s':>8} {'work/MJ':>9} "
+              f"{'PUE':>7} {'max C':>6} {'stall':>7} {'pend':>6}")
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        print(f"{r.scenario.policy:<14} {r.scenario.seed:>5} "
+              f"{r.throughput_gcps:>8.2f} {r.work_per_mj:>9.1f} "
+              f"{r.account.pue:>7.4f} {r.max_water_temp_c:>6.2f} "
+              f"{r.stalled_board_steps:>7} {r.jobs_pending_end:>6}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(results_json(results) + "\n")
+        print(f"campaign JSON written to {args.out}")
+    return 0

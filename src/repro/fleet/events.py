@@ -1,0 +1,131 @@
+"""Deterministic event queue and canonical event log for the fleet.
+
+The simulator is a time-stepped discrete-event loop; everything that
+*happens* is an :class:`Event` drained from one :class:`EventQueue`.
+Determinism is a contract, not an accident:
+
+* **Integer time.** Event times are integer microseconds
+  (``time_us``), never floats — two events that should be simultaneous
+  *are* simultaneous, with no epsilon games.
+* **Explicit tie-break.** The heap key is the triple
+  ``(time_us, kind_rank, seq)``: same-instant events order by kind
+  (arrivals are visible to the step that dispatches them, so
+  ``arrival`` ranks before ``step``), and same-kind same-instant
+  events order by submission sequence (arrival generation order —
+  itself deterministic from the seed). Python's ``heapq`` is not
+  stable, so without ``seq`` the relative order of equal keys would
+  depend on interleaving history; with it the key is total and the pop
+  order is a pure function of the pushes.
+* **Canonical log lines.** :func:`canonical_event_line` renders an
+  event dict as sorted-key, compact JSON — the byte form the
+  same-seed-twice regression test compares and the result digest
+  hashes.
+
+``tests/test_fleet.py::TestEventQueue`` pins the tie-break;
+``TestDeterminism`` pins byte-identical logs across runs and worker
+counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "EVENT_KIND_RANK",
+    "Event",
+    "EventQueue",
+    "canonical_event_line",
+]
+
+#: Total order over event kinds at equal timestamps. Arrivals rank
+#: before the step boundary so a job arriving at exactly t is eligible
+#: for dispatch in the step that begins at t; ``stop`` ranks last so
+#: same-instant work is processed before the simulation closes.
+EVENT_KIND_RANK: dict[str, int] = {
+    "arrival": 0,
+    "step": 1,
+    "stop": 2,
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    Attributes:
+        time_us: simulation time in integer microseconds.
+        kind: one of :data:`EVENT_KIND_RANK`.
+        payload: kind-specific data (e.g. the arriving job).
+    """
+
+    time_us: int
+    kind: str
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time_us < 0:
+            raise ConfigurationError(
+                f"event time cannot be negative, got {self.time_us}")
+        if self.kind not in EVENT_KIND_RANK:
+            raise ConfigurationError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{sorted(EVENT_KIND_RANK)}")
+
+
+class EventQueue:
+    """Min-heap of events under the explicit total order.
+
+    The heap entry is ``(time_us, kind_rank, seq, event)``; ``seq`` is
+    assigned at push time, so equal ``(time, rank)`` events pop in push
+    order on every run and every platform.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule one event."""
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (event.time_us, EVENT_KIND_RANK[event.kind], self._seq,
+             event))
+
+    def pop(self) -> Event:
+        """Remove and return the next event.
+
+        Raises:
+            IndexError: the queue is empty.
+        """
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time_us(self) -> int | None:
+        """Timestamp of the next event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every event in order (consumes the queue)."""
+        while self._heap:
+            yield self.pop()
+
+
+def canonical_event_line(record: dict[str, Any]) -> str:
+    """The canonical byte form of one event-log record.
+
+    Sorted keys, compact separators, no trailing newline — identical
+    input dicts give identical bytes, which is the form the
+    same-seed regression test and the result digest are stated over.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,572 @@
+"""The fleet simulator: deterministic time-stepped datacenter runs.
+
+One :func:`simulate` call turns a :class:`~repro.fleet.model.
+FleetScenario` into a :class:`FleetResult`: jobs flow in from the
+seeded arrival process, the placement policy lands them on boards,
+every board runs at the highest VFS step its tank's water allows, the
+tank waters evolve on the shared coolant loop, and the energy ledger
+reconciles to machine precision.
+
+Per-board thermal evaluation — the hot loop
+-------------------------------------------
+
+A naive implementation would solve a thermal network per board per
+step (~740k solves for the acceptance-bar fleet). The simulator
+instead exploits two structural facts:
+
+1. **The PR-7 response operator.** The chip ladder's worst-case die
+   temperatures at the *reference* ambient are ``len(ladder)`` matvec
+   queries against one cached operator
+   (:meth:`~repro.thermal.hotspot.ThermalModel.max_temperatures_many`)
+   — computed once per scenario, shared across every board and step,
+   and content-address-cached across scenarios and processes.
+2. **The ambient-shift identity.** Every boundary layer of the package
+   network shares one ambient (the immersion water), so the network
+   equation ``G T = P + B T_amb`` satisfies ``G 1 = B 1`` (zero power
+   means uniform water temperature everywhere). Temperatures are
+   therefore *exactly* linear in the ambient:
+   ``T(P, T_water) = T(P, T_ref) + (T_water - T_ref)``. The DTM
+   decision "highest ladder step whose hotspot stays under the
+   threshold at this water temperature" reduces to a binary search
+   over precomputed per-step *maximum water temperatures* — O(log L)
+   arithmetic per tank per step, no solver anywhere near the loop.
+   (``tests/test_fleet.py::TestBoardLadder`` pins the identity
+   against a full model solve at a shifted ambient.)
+
+Coolant loop and the energy ledger
+----------------------------------
+
+Tank water is a lumped mass updated by explicit Euler, all terms
+evaluated at step start (the config validates the step against the
+water time constant):
+
+``C dT = (P_boards - eps*Q*rho*cp * (T - T_inlet_eff)) dt``
+
+with ``T_inlet_eff = supply + coupling * sum(neighbor excess)``. The
+ledger identity ``generated == removed + stored`` then holds by
+construction *to float rounding* — the property test asserts 1e-6
+relative across every policy and seed. Neighbor coupling is
+loop-internal heat (it leaves one tank's books and enters another's
+inlet), so facility "removed" is simply the sum of per-tank exchange
+terms.
+
+Scenario campaigns
+------------------
+
+:func:`run_scenarios` evaluates a scenario list on the
+:mod:`repro.parallel` engine (supervised pool, deterministic result
+order); :func:`results_document` renders the campaign as canonical
+JSON, byte-identical at every worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, IO, Sequence
+
+from ..cooling.accounting import EnergyAccount
+from ..errors import ConfigurationError
+from ..obs import counter, gauge, histogram, log_event, span
+from ..parallel import ParallelConfig, run_chunked
+from ..power.processors import get_chip
+from ..thermal.hotspot import model_for
+from .events import Event, EventQueue, canonical_event_line
+from .model import FleetConfig, FleetScenario
+from .policies import BoardView, get_policy
+from .workload import FleetJob, generate_arrivals
+
+__all__ = [
+    "BoardLadder",
+    "FleetResult",
+    "build_board_ladder",
+    "results_document",
+    "results_json",
+    "run_scenarios",
+    "simulate",
+]
+
+
+@dataclass(frozen=True)
+class BoardLadder:
+    """Per-geometry DTM lookup: ladder step as a function of water temp.
+
+    Attributes:
+        freqs_ghz: ladder frequencies, ascending.
+        per_job_power_w: stack power per occupied slot at each step.
+        max_water_c: highest water temperature at which each step's
+            worst-case hotspot still meets the threshold (strictly
+            descending — hotter water forces lower steps).
+        ref_ambient_c: the ambient the reference temperatures were
+            solved at (the shift origin).
+        ref_max_temp_c: worst-case hotspot at each step, reference
+            ambient.
+    """
+
+    freqs_ghz: tuple[float, ...]
+    per_job_power_w: tuple[float, ...]
+    max_water_c: tuple[float, ...]
+    ref_ambient_c: float
+    ref_max_temp_c: tuple[float, ...]
+
+    @property
+    def stall_water_c(self) -> float:
+        """Water temperature past which even the lowest step trips."""
+        return self.max_water_c[0]
+
+    def step_for_water(self, water_c: float) -> int | None:
+        """Highest feasible ladder index at a water temperature.
+
+        ``max_water_c`` is descending, so the feasible steps form a
+        prefix; binary search for its end. None = DTM stalls the board
+        (clock gated, idle power only).
+        """
+        lo, hi = 0, len(self.max_water_c)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.max_water_c[mid] >= water_c:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1 if lo else None
+
+
+def build_board_ladder(config: FleetConfig) -> BoardLadder:
+    """Solve the ladder once per geometry (response-operator backed).
+
+    One :func:`~repro.thermal.hotspot.model_for` lookup (bounded LRU +
+    the PR-7 content-addressed operator store behind it) answers the
+    whole ladder as matvecs; everything after this is arithmetic.
+    """
+    chip = get_chip(config.chip)
+    model = model_for(config.chip, config.n_chips, config.cooling)
+    freqs_hz = [float(f) for f in chip.ladder.frequencies()]
+    with span("fleet.ladder_precompute", chip=config.chip,
+              n_chips=config.n_chips, steps=len(freqs_hz)):
+        ref_temps = model.max_temperatures_many(freqs_hz)
+    threshold = config.effective_threshold_c()
+    ambient = model.params.ambient_c
+    max_water = [threshold - t + ambient for t in ref_temps]
+    if any(b >= a for a, b in zip(max_water, max_water[1:])):
+        raise ConfigurationError(
+            "ladder hotspot temperatures are not strictly increasing "
+            "in frequency; the DTM prefix search needs monotonicity")
+    stack_power = [config.n_chips * chip.total_power_w(f)
+                   for f in freqs_hz]
+    return BoardLadder(
+        freqs_ghz=tuple(f / 1e9 for f in freqs_hz),
+        per_job_power_w=tuple(p / config.slots_per_board
+                              for p in stack_power),
+        max_water_c=tuple(max_water),
+        ref_ambient_c=ambient,
+        ref_max_temp_c=tuple(float(t) for t in ref_temps),
+    )
+
+
+class _RunningJob:
+    """Mutable in-flight job (board-resident)."""
+
+    __slots__ = ("job_id", "remaining_gcycles")
+
+    def __init__(self, job_id: int, work_gcycles: float) -> None:
+        self.job_id = job_id
+        self.remaining_gcycles = work_gcycles
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one simulation produced (JSON-ready, hash-stable).
+
+    The canonical byte form (:meth:`to_json`) is the identity the
+    worker-count and same-seed guarantees are stated over.
+    """
+
+    scenario: FleetScenario
+    steps: int
+    jobs_arrived: int
+    jobs_dispatched: int
+    jobs_completed: int
+    jobs_pending_end: int
+    jobs_running_end: int
+    work_done_gcycles: float
+    completed_work_gcycles: float
+    account: EnergyAccount
+    generated_j: float
+    removed_j: float
+    stored_j: float
+    max_water_temp_c: float
+    final_water_temp_c: tuple[float, ...]
+    peak_water_temp_c: tuple[float, ...]
+    throttled_board_steps: int
+    stalled_board_steps: int
+    event_digest: str
+    events: tuple[str, ...] | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds."""
+        return self.steps * self.scenario.fleet.step_s
+
+    @property
+    def throughput_gcps(self) -> float:
+        """Sustained throughput: Gcycles retired per simulated second."""
+        return self.work_done_gcycles / self.duration_s
+
+    @property
+    def work_per_mj(self) -> float:
+        """Gcycles per megajoule of *wall* (total facility) energy."""
+        return self.work_done_gcycles / (self.account.total_energy_j
+                                         / 1e6)
+
+    @property
+    def conservation_residual_j(self) -> float:
+        """``generated - removed - stored`` (should be ~0)."""
+        return self.generated_j - self.removed_j - self.stored_j
+
+    @property
+    def conservation_relative_residual(self) -> float:
+        """Residual normalized by generated heat."""
+        scale = max(abs(self.generated_j), 1.0)
+        return abs(self.conservation_residual_j) / scale
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready form (event *digest*, not the log)."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "steps": self.steps,
+            "duration_s": self.duration_s,
+            "jobs": {
+                "arrived": self.jobs_arrived,
+                "dispatched": self.jobs_dispatched,
+                "completed": self.jobs_completed,
+                "pending_end": self.jobs_pending_end,
+                "running_end": self.jobs_running_end,
+            },
+            "work_done_gcycles": self.work_done_gcycles,
+            "completed_work_gcycles": self.completed_work_gcycles,
+            "throughput_gcps": self.throughput_gcps,
+            "work_per_mj": self.work_per_mj,
+            "energy": self.account.to_dict(),
+            "conservation": {
+                "generated_j": self.generated_j,
+                "removed_j": self.removed_j,
+                "stored_j": self.stored_j,
+                "residual_j": self.conservation_residual_j,
+            },
+            "thermal": {
+                "max_water_temp_c": self.max_water_temp_c,
+                "final_water_temp_c": list(self.final_water_temp_c),
+                "peak_water_temp_c": list(self.peak_water_temp_c),
+                "throttled_board_steps": self.throttled_board_steps,
+                "stalled_board_steps": self.stalled_board_steps,
+            },
+            "event_digest": self.event_digest,
+        }
+
+    def to_json(self) -> str:
+        """Sorted, compact JSON — the byte-identity form."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def simulate(scenario: FleetScenario, *,
+             events_file: IO[str] | None = None,
+             keep_events: bool = False) -> FleetResult:
+    """Run one scenario to completion.
+
+    Args:
+        scenario: plant + workload + policy + seed + duration.
+        events_file: optional text stream; every event-log line is
+            written there as it happens (streaming, bounded memory).
+        keep_events: also return the full log on
+            :attr:`FleetResult.events` (tests; large runs should
+            stream instead).
+
+    Returns:
+        The :class:`FleetResult`; deterministic in the scenario alone.
+    """
+    cfg = scenario.fleet
+    t_wall0 = time.perf_counter()
+    with span("fleet.run", policy=scenario.policy, tanks=cfg.n_tanks,
+              boards=cfg.n_boards, steps=scenario.n_steps):
+        result = _simulate_inner(scenario, events_file, keep_events)
+    wall_s = time.perf_counter() - t_wall0
+    counter("fleet.scenarios").inc()
+    counter("fleet.steps").inc(result.steps)
+    counter("fleet.jobs_arrived").inc(result.jobs_arrived)
+    counter("fleet.jobs_dispatched").inc(result.jobs_dispatched)
+    counter("fleet.jobs_completed").inc(result.jobs_completed)
+    counter("fleet.board_steps_throttled").inc(
+        result.throttled_board_steps)
+    counter("fleet.board_steps_stalled").inc(
+        result.stalled_board_steps)
+    gauge("fleet.water_temp_max_c").set(result.max_water_temp_c)
+    histogram("fleet.sim_seconds").observe(wall_s)
+    log_event("fleet_run", policy=scenario.policy, seed=scenario.seed,
+              boards=cfg.n_boards, steps=result.steps,
+              completed=result.jobs_completed,
+              wall_ms=round(wall_s * 1e3, 3))
+    return result
+
+
+def _simulate_inner(scenario: FleetScenario,
+                    events_file: IO[str] | None,
+                    keep_events: bool) -> FleetResult:
+    cfg = scenario.fleet
+    ladder = build_board_ladder(cfg)
+    policy = get_policy(scenario.policy)
+    policy.reset()
+
+    step_us = int(round(cfg.step_s * 1e6))
+    if step_us <= 0:
+        raise ConfigurationError("step_s is below 1 microsecond")
+    n_steps = scenario.n_steps
+    dt = cfg.step_s
+    # arrivals past the last whole step would never be processed;
+    # generate against the simulated horizon, not the raw duration
+    arrivals = generate_arrivals(scenario.workload, scenario.seed,
+                                 n_steps * dt)
+
+    queue = EventQueue()
+    for job in arrivals:
+        queue.push(Event(job.time_us, "arrival", job))
+    for k in range(n_steps):
+        queue.push(Event(k * step_us, "step", k))
+    queue.push(Event(n_steps * step_us, "stop"))
+
+    n_tanks, bpt = cfg.n_tanks, cfg.boards_per_tank
+    n_boards = cfg.n_boards
+    slots = cfg.slots_per_board
+    supply = cfg.supply_temp_c
+    cap_rate = cfg.heat_capacity_rate_w_k()
+    heat_cap = cfg.tank_heat_capacity_j_k()
+    coupling = cfg.coupling
+
+    water = [supply] * n_tanks           # step-start tank temps
+    peak_water = [supply] * n_tanks
+    boards: list[list[_RunningJob]] = [[] for _ in range(n_boards)]
+    active_boards: set[int] = set()      # boards with >= 1 job
+    pending: deque[FleetJob] = deque()
+
+    digest = hashlib.sha256()
+    kept: list[str] | None = [] if keep_events else None
+
+    def emit(record: dict[str, Any]) -> None:
+        line = canonical_event_line(record)
+        digest.update(line.encode())
+        digest.update(b"\n")
+        if events_file is not None:
+            events_file.write(line + "\n")
+        if kept is not None:
+            kept.append(line)
+
+    generated_j = removed_j = 0.0
+    work_done = 0.0
+    dispatched = completed = 0
+    throttled_steps = stalled_steps = 0
+    top_step = len(ladder.freqs_ghz) - 1
+
+    for event in queue.drain():
+        if event.kind == "arrival":
+            job: FleetJob = event.payload
+            pending.append(job)
+            emit({"t_us": event.time_us, "ev": "arrival",
+                  "job": job.job_id, "work": job.work_gcycles})
+            continue
+        if event.kind == "stop":
+            break
+        t_us = event.time_us
+
+        # --- per-tank DTM response from step-start water temps -------
+        f_idx: list[int | None] = [None] * n_tanks
+        headroom: list[float] = [0.0] * n_tanks
+        for i in range(n_tanks):
+            f_idx[i] = ladder.step_for_water(water[i])
+            headroom[i] = ladder.stall_water_c - water[i]
+
+        # --- dispatch pending jobs through the policy -----------------
+        if pending:
+            views: list[BoardView] = []
+            slot_of: dict[int, int] = {}
+            for b in range(n_boards):
+                running = len(boards[b])
+                if running < slots:
+                    tank = b // bpt
+                    idx = f_idx[tank]
+                    view = BoardView(
+                        board=b, tank=tank, running=running,
+                        free_slots=slots - running,
+                        f_ghz=(ladder.freqs_ghz[idx]
+                               if idx is not None else 0.0),
+                        headroom_c=headroom[tank])
+                    slot_of[b] = len(views)
+                    views.append(view)
+            while pending and views:
+                choice = policy.select(views)
+                job = pending.popleft()
+                b = choice.board
+                boards[b].append(
+                    _RunningJob(job.job_id, job.work_gcycles))
+                active_boards.add(b)
+                dispatched += 1
+                emit({"t_us": t_us, "ev": "dispatch",
+                      "job": job.job_id, "tank": choice.tank,
+                      "board": b})
+                if choice.free_slots == 1:
+                    # board is now full: drop its view, keep order
+                    pos = slot_of.pop(b)
+                    views.pop(pos)
+                    for other in list(slot_of):
+                        if slot_of[other] > pos:
+                            slot_of[other] -= 1
+                else:
+                    views[slot_of[b]] = choice._replace(
+                        running=choice.running + 1,
+                        free_slots=choice.free_slots - 1)
+
+        # --- progress, power, completions -----------------------------
+        busy_per_tank = [0] * n_tanks
+        end_us = t_us + step_us
+        for b in sorted(active_boards):
+            tank = b // bpt
+            idx = f_idx[tank]
+            jobs_here = boards[b]
+            busy_per_tank[tank] += len(jobs_here)
+            if idx is None:
+                continue            # DTM stall: no progress, idle burn
+            progress = ladder.freqs_ghz[idx] * dt
+            finished: list[_RunningJob] = []
+            for rj in jobs_here:
+                used = min(progress, rj.remaining_gcycles)
+                work_done += used
+                rj.remaining_gcycles -= used
+                if rj.remaining_gcycles <= 0.0:
+                    finished.append(rj)
+            for rj in finished:
+                jobs_here.remove(rj)
+                completed += 1
+                emit({"t_us": end_us, "ev": "complete",
+                      "job": rj.job_id})
+            if not jobs_here:
+                active_boards.discard(b)
+
+        # --- tank energy balance (explicit Euler, step-start temps) ---
+        prev = water[:]
+        for i in range(n_tanks):
+            idx = f_idx[i]
+            if idx is None:
+                active_w = 0.0
+                stalled_steps += bpt
+            else:
+                active_w = busy_per_tank[i] * ladder.per_job_power_w[idx]
+                if idx < top_step:
+                    throttled_steps += bpt
+            it_power = bpt * cfg.idle_power_w + active_w
+            heat_in = it_power * dt
+            generated_j += heat_in
+            excess = 0.0
+            if i > 0:
+                excess += max(0.0, prev[i - 1] - supply)
+            if i < n_tanks - 1:
+                excess += max(0.0, prev[i + 1] - supply)
+            inlet_eff = supply + coupling * excess
+            removed = cap_rate * (prev[i] - inlet_eff) * dt
+            removed_j += removed
+            water[i] = prev[i] + (heat_in - removed) / heat_cap
+            if water[i] > peak_water[i]:
+                peak_water[i] = water[i]
+
+    stored_j = sum(heat_cap * (water[i] - supply)
+                   for i in range(n_tanks))
+    it_energy = generated_j
+    duration = n_steps * dt
+    account = EnergyAccount(
+        it_energy_j=it_energy,
+        cooling_energy_j=n_tanks * cfg.pump_power_w * duration,
+        other_energy_j=cfg.non_cooling_overhead_fraction * it_energy,
+        reused_energy_j=cfg.reuse_fraction * max(0.0, removed_j),
+    )
+    completed_work = _completed_work(arrivals, boards, pending,
+                                     completed)
+
+    return FleetResult(
+        scenario=scenario,
+        steps=n_steps,
+        jobs_arrived=len(arrivals),
+        jobs_dispatched=dispatched,
+        jobs_completed=completed,
+        jobs_pending_end=len(pending),
+        jobs_running_end=sum(len(js) for js in boards),
+        work_done_gcycles=work_done,
+        completed_work_gcycles=completed_work,
+        account=account,
+        generated_j=generated_j,
+        removed_j=removed_j,
+        stored_j=stored_j,
+        max_water_temp_c=max(peak_water),
+        final_water_temp_c=tuple(water),
+        peak_water_temp_c=tuple(peak_water),
+        throttled_board_steps=throttled_steps,
+        stalled_board_steps=stalled_steps,
+        event_digest=digest.hexdigest(),
+        events=tuple(kept) if kept is not None else None,
+    )
+
+
+def _completed_work(arrivals: Sequence[FleetJob],
+                    boards: Sequence[Sequence[_RunningJob]],
+                    pending: Sequence[FleetJob],
+                    completed: int) -> float:
+    """Gcycles of fully finished jobs (vs. partial ``work_done``)."""
+    if not completed:
+        return 0.0
+    unfinished = {rj.job_id for js in boards for rj in js}
+    unfinished.update(j.job_id for j in pending)
+    return sum(j.work_gcycles for j in arrivals
+               if j.job_id not in unfinished)
+
+
+# ---------------------------------------------------------------------------
+# Scenario campaigns on the parallel engine
+# ---------------------------------------------------------------------------
+
+
+def _scenario_task(payload: Any, scenario_dict: dict) -> FleetResult:
+    """Module-level (picklable) pool task: one scenario end to end."""
+    return simulate(FleetScenario.from_dict(scenario_dict))
+
+
+def run_scenarios(scenarios: Sequence[FleetScenario], *,
+                  workers: int | None = None,
+                  chunk_size: int | None = None) -> list[FleetResult]:
+    """Evaluate a scenario list, optionally on worker processes.
+
+    Results come back in scenario order and are byte-identical at
+    every worker count (``--workers {serial,2,4}`` — the campaign
+    engine's standing guarantee plus a deterministic simulator).
+    """
+    items = [s.to_dict() for s in scenarios]
+    config = ParallelConfig(workers=workers if workers else 1,
+                            chunk_size=chunk_size or 1)
+    with span("fleet.campaign", scenarios=len(items),
+              workers=config.workers):
+        return run_chunked(items, _scenario_task, None, config=config)
+
+
+def results_document(results: Sequence[FleetResult]) -> dict[str, Any]:
+    """Canonical campaign document (the fleet checkpoint payload)."""
+    return {
+        "version": 1,
+        "kind": "fleet-campaign",
+        "results": [r.to_dict() for r in results],
+    }
+
+
+def results_json(results: Sequence[FleetResult]) -> str:
+    """Sorted, compact JSON of :func:`results_document` — the byte
+    form the worker-count identity test compares."""
+    return json.dumps(results_document(results), sort_keys=True,
+                      separators=(",", ":"))

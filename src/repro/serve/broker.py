@@ -65,12 +65,18 @@ from ..resilience import ResilienceOptions
 from .cache import ResultCache
 from .request import Job, JobState, ServeRequest
 from .runner import PoolPayload, SpecOutcome, pool_task, \
-    run_spec_resilient
+    run_fleet_resilient, run_spec_resilient
 
 __all__ = ["Broker", "BrokerConfig"]
 
 #: How many terminal jobs stay addressable by id after completion.
 _RETAINED_JOBS = 1024
+
+
+def _is_fleet(spec: Any) -> bool:
+    """Whether a request is a fleet scenario (routed on the wire tag,
+    no :mod:`repro.fleet` import needed)."""
+    return getattr(spec, "kind", None) == "fleet"
 
 
 @dataclass(frozen=True)
@@ -199,13 +205,26 @@ class Broker:
                label: str = "") -> Job:
         """Admit one request; returns its (possibly shared) job.
 
+        Accepts experiment specs and fleet scenarios alike: a dict
+        tagged ``"kind": "fleet"`` (or a
+        :class:`~repro.fleet.model.FleetScenario`) is routed to the
+        fleet simulator and gets the same cache / coalesce / shed
+        treatment, keyed by the same canonical config hash.
+
         Raises:
             OverloadedError: the queue is full (structured shed).
             ServeError: the broker is shut down.
             ConfigurationError: the spec dict is invalid.
         """
         if isinstance(spec, dict):
-            spec = ExperimentSpec.from_dict(spec)
+            if spec.get("kind") == "fleet":
+                from ..fleet.model import FleetScenario
+                spec = FleetScenario.from_dict(spec)
+            else:
+                spec = ExperimentSpec.from_dict(spec)
+        if _is_fleet(spec):
+            counter("fleet.requests_total").inc()
+            self.slo.record("fleet_request")
         if deadline_s is None:
             deadline_s = self.config.default_deadline_s
         request = ServeRequest(spec=spec, priority=priority,
@@ -333,6 +352,9 @@ class Broker:
                             job.request.spec.to_dict()).result()
                     elif self._runner is not None:
                         outcome = self._runner(job.request.spec)
+                    elif _is_fleet(job.request.spec):
+                        outcome = run_fleet_resilient(job.request.spec,
+                                                      self.resilience)
                     else:
                         outcome = run_spec_resilient(job.request.spec,
                                                      self.resilience)
@@ -360,6 +382,11 @@ class Broker:
             self._cv.notify_all()
         counter("serve.completed_total").inc()
         self.slo.record("completed")
+        if _is_fleet(job.request.spec):
+            counter("fleet.completed_total").inc()
+            histogram("fleet.run_seconds").observe(now - t0)
+            self.slo.record("fleet_completed")
+            self.slo.observe("fleet_run", now - t0)
         if getattr(outcome, "degraded", False):
             counter("serve.degraded_total").inc()
         histogram("serve.run_seconds").observe(now - t0)

@@ -32,8 +32,15 @@ __all__ = [
 ]
 
 
-def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
-    """JSON-ready form of an experiment result (spec embedded)."""
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """JSON-ready form of a served result (spec embedded).
+
+    Non-experiment payloads (a :class:`~repro.fleet.sim.FleetResult`
+    from a fleet submission) render through their own canonical
+    ``to_dict``.
+    """
+    if not isinstance(result, ExperimentResult):
+        return result.to_dict()
     return {
         "spec": result.spec.to_dict(),
         "feasible": result.feasible,

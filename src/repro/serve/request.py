@@ -45,9 +45,13 @@ def canonical_spec_dict(value: Any) -> Any:
     return canonical_config(value)
 
 
-def spec_hash(spec: ExperimentSpec | dict) -> str:
-    """SHA-256 config hash of a spec (the cache / coalescing key)."""
-    d = spec.to_dict() if isinstance(spec, ExperimentSpec) else dict(spec)
+def spec_hash(spec: ExperimentSpec | Any) -> str:
+    """SHA-256 config hash of a request (the cache / coalescing key).
+
+    Any object with a ``to_dict()`` wire form hashes — experiment
+    specs and fleet scenarios alike — as does a raw dict.
+    """
+    d = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
     return config_hash(canonical_spec_dict(d))
 
 
@@ -56,7 +60,9 @@ class ServeRequest:
     """One submission: the experiment plus its serving metadata.
 
     Attributes:
-        spec: the experiment to run.
+        spec: the computation to run — an
+            :class:`~repro.config.ExperimentSpec` or a
+            :class:`~repro.fleet.model.FleetScenario`.
         priority: scheduling class; *lower runs first* (0 = normal).
         deadline_s: max seconds the request may wait in the queue
             before the broker expires it (None = no deadline).
@@ -67,7 +73,7 @@ class ServeRequest:
             ids instead of re-normalizing the spec per lookup.
     """
 
-    spec: ExperimentSpec
+    spec: Any
     priority: int = 0
     deadline_s: float | None = None
     label: str = ""

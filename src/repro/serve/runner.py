@@ -12,6 +12,13 @@ what keeps served results byte-identical to the underlying API.
 
 :func:`pool_task` is the module-level (picklable) form the
 :class:`~repro.parallel.service.WorkerPool` process mode schedules.
+
+Fleet scenarios (:class:`~repro.fleet.model.FleetScenario`, wire kind
+``"fleet"``) ride the same rails through
+:func:`run_fleet_resilient`: one deterministic rung (the simulator has
+no lower-fidelity fallback), the same retry policy for transients, and
+the same :class:`SpecOutcome` envelope — so coalescing, caching, and
+the HTTP surface treat experiments and fleet runs uniformly.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from ..obs import span
 from ..resilience import ResilienceOptions
 from ..resilience.degrade import DegradationLadder
 
-__all__ = ["SpecOutcome", "pool_task", "run_spec_resilient"]
+__all__ = ["SpecOutcome", "pool_task", "run_fleet_resilient",
+           "run_spec_resilient"]
 
 
 @dataclass(frozen=True)
@@ -34,7 +42,8 @@ class SpecOutcome:
 
     Attributes:
         result: the experiment result (identical to a direct
-            ``spec.run()`` whenever ``rung == "full"``).
+            ``spec.run()`` whenever ``rung == "full"``) — or a
+            :class:`~repro.fleet.sim.FleetResult` for fleet requests.
         rung: which ladder rung answered (``"full"`` / ``"analytic"``).
         degraded: True when a lower-fidelity rung supplied the value.
         attempts: total call attempts across rungs (retries included).
@@ -101,6 +110,38 @@ def run_spec_resilient(spec: ExperimentSpec,
                        errors=outcome.errors)
 
 
+def run_fleet_resilient(scenario, options: ResilienceOptions | None = None
+                        ) -> SpecOutcome:
+    """Evaluate a fleet scenario under the serving retry policy.
+
+    The simulator is deterministic and has no lower-fidelity rung, so
+    the ladder is single-rung: retries absorb transients (worker
+    crashes in process mode), degradation never applies.
+
+    Args:
+        scenario: a :class:`~repro.fleet.model.FleetScenario`.
+        options: retry policy (None = defaults).
+    """
+    from ..fleet.sim import simulate
+
+    opts = options if options is not None else ResilienceOptions()
+
+    def full():
+        return simulate(scenario)
+
+    ladder = DegradationLadder((("full", full),))
+    with span("serve.evaluate_fleet", policy=scenario.policy,
+              tanks=scenario.fleet.n_tanks,
+              boards=scenario.fleet.n_boards):
+        outcome = ladder.run(retry_policy=opts.retry_policy,
+                             sleep=opts.sleep,
+                             allow_degraded=opts.allow_degraded)
+    return SpecOutcome(result=outcome.value, rung=outcome.rung,
+                       degraded=outcome.degraded,
+                       attempts=outcome.attempts,
+                       errors=outcome.errors)
+
+
 @dataclass(frozen=True)
 class PoolPayload:
     """Picklable resilience settings for process-mode evaluation
@@ -113,8 +154,15 @@ class PoolPayload:
 
 def pool_task(payload: PoolPayload, spec_dict: dict) -> SpecOutcome:
     """The :class:`~repro.parallel.service.WorkerPool` task: rebuild
-    the spec and evaluate it resiliently (module-level for pickling)."""
-    spec = ExperimentSpec.from_dict(spec_dict)
-    return run_spec_resilient(spec, ResilienceOptions(
-        retry_policy=payload.retry_policy,
-        allow_degraded=payload.allow_degraded))
+    the request from its wire form and evaluate it resiliently
+    (module-level for pickling). Routes on the ``"kind"`` tag —
+    ``"fleet"`` dicts rebuild a fleet scenario, everything else an
+    experiment spec."""
+    options = ResilienceOptions(retry_policy=payload.retry_policy,
+                                allow_degraded=payload.allow_degraded)
+    if spec_dict.get("kind") == "fleet":
+        from ..fleet.model import FleetScenario
+        return run_fleet_resilient(FleetScenario.from_dict(spec_dict),
+                                   options)
+    return run_spec_resilient(ExperimentSpec.from_dict(spec_dict),
+                              options)

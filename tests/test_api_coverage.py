@@ -39,7 +39,7 @@ def test_build_parser_lists_all_commands():
     assert set(sub.choices) == {
         "freq", "sweep", "npb", "maps", "pue", "headline", "report",
         "pareto", "spec", "robustness", "campaign", "chaos", "serve",
-        "submit", "top"}
+        "submit", "top", "fleet"}
 
 
 def test_get_technology():
