@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.fleet import (
     FleetConfig,
+    FleetFaultPlan,
     FleetScenario,
     POLICY_NAMES,
     WorkloadConfig,
@@ -52,6 +53,30 @@ def test_simulate_thermal_aware(benchmark):
     result = benchmark(simulate, scenario("thermal-aware"))
     assert result.jobs_completed > 0
     assert result.conservation_relative_residual < 1e-6
+
+
+#: Chaos campaign load: every fault process live at once, so the
+#: benchmark pays for timeline generation, incident bookkeeping, and
+#: the degraded-mode scheduling paths on top of the baseline DES.
+CHAOS = FleetFaultPlan(aging_years_per_sim_hour=6.0,
+                       chip_mttf_years=8.0,
+                       pump_loss_per_tank_hour=0.1,
+                       fouling_per_tank_hour=0.1,
+                       sensor_fault_per_tank_hour=0.2)
+
+
+def test_simulate_chaos_campaign(benchmark):
+    """Fault-engine overhead: the same plant and load as the policy
+    benchmarks, with the full fault plan active under thermal-aware
+    placement. The ledger must still close and incidents must fire."""
+    sc = FleetScenario(fleet=FLEET, workload=WORKLOAD,
+                       policy="thermal-aware", seed=7,
+                       duration_s=HOURS * 3600.0, faults=CHAOS)
+    result = benchmark(simulate, sc)
+    assert result.jobs_completed > 0
+    assert result.conservation_relative_residual < 1e-6
+    assert result.availability["incidents_total"] > 0
+    assert 0.0 < result.availability["availability"] <= 1.0
 
 
 def test_policy_comparison_table(save_artifact):

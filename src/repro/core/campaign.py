@@ -128,8 +128,10 @@ class CampaignPoint:
     """One grid point of a campaign.
 
     Attributes:
-        kind: ``"freq"`` (max-frequency search only) or ``"npb"``
-            (max-frequency search plus NPB execution times).
+        kind: ``"freq"`` (max-frequency search only), ``"npb"``
+            (max-frequency search plus NPB execution times), or
+            ``"fleet"`` (a fleet-simulator configuration — used by the
+            fleet incident ledger, which reuses this schema family).
         chip / n_chips / cooling: the configuration.
         threshold_c: temperature limit override (None = chip default).
         threads: simulated thread count for npb points (None = all
@@ -144,7 +146,7 @@ class CampaignPoint:
     threads: int | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("freq", "npb"):
+        if self.kind not in ("freq", "npb", "fleet"):
             raise ConfigurationError(
                 f"unknown campaign point kind {self.kind!r}")
         if self.n_chips < 1:

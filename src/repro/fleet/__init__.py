@@ -18,16 +18,27 @@ Layer map:
   thermal-aware placement;
 * :mod:`repro.fleet.events` — the deterministic event queue (explicit
   ``(time, kind, seq)`` tie-break) and canonical log lines;
+* :mod:`repro.fleet.faults` — the seeded failure/repair engine
+  (:class:`FleetFaultPlan`): paper-calibrated board wear, pump loss,
+  exchanger fouling, and sensor faults, plus the incident ledger
+  bridge into the resilience failure-ledger schema;
 * :mod:`repro.fleet.sim` — the simulator (:func:`simulate`), scenario
   campaigns on the parallel engine (:func:`run_scenarios`), and the
   canonical campaign document;
 * :mod:`repro.fleet.cli` — ``repro fleet run`` / ``repro fleet
-  sweep``.
+  sweep`` / ``repro fleet chaos``.
 
 See ``docs/fleet.md`` for the model, its calibration, and its limits.
 """
 
 from .events import Event, EventQueue, canonical_event_line
+from .faults import (
+    FLEET_FAULT_KINDS,
+    FleetFaultEvent,
+    FleetFaultPlan,
+    generate_fault_timeline,
+    incident_ledger_entries,
+)
 from .model import FleetConfig, FleetScenario
 from .policies import POLICY_NAMES, BoardView, PlacementPolicy, \
     get_policy
@@ -47,7 +58,10 @@ __all__ = [
     "BoardView",
     "Event",
     "EventQueue",
+    "FLEET_FAULT_KINDS",
     "FleetConfig",
+    "FleetFaultEvent",
+    "FleetFaultPlan",
     "FleetJob",
     "FleetResult",
     "FleetScenario",
@@ -57,7 +71,9 @@ __all__ = [
     "build_board_ladder",
     "canonical_event_line",
     "generate_arrivals",
+    "generate_fault_timeline",
     "get_policy",
+    "incident_ledger_entries",
     "results_document",
     "results_json",
     "run_scenarios",

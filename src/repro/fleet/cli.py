@@ -4,7 +4,7 @@ Kept out of :mod:`repro.cli` (which wires every subcommand) so the
 fleet surface can grow without pushing the main module past readable:
 :func:`register` is the single hook the root parser calls.
 
-Two verbs:
+Three verbs:
 
 * ``repro fleet run`` — one scenario end to end; prints the
   throughput / energy / thermal summary, optionally writes the
@@ -14,11 +14,22 @@ Two verbs:
   engine (``--workers``); prints the policy comparison and optionally
   writes the canonical campaign document, byte-identical at every
   worker count.
+* ``repro fleet chaos`` — the sweep under a seeded
+  :class:`~repro.fleet.faults.FleetFaultPlan` (facility faults inside
+  the simulation) optionally composed with ``--inject`` process
+  faults against the worker pool itself; prints availability / MTTR /
+  incident accounting and emits the incident ledger in the resilience
+  failure-ledger format (``--ledger-out``, integrity-checked).
+
+Exit codes follow the repo convention: 0 success, 1 nothing finished,
+2 usage, 75 pool closed mid-run (``PoolClosedError`` propagates to
+:func:`repro.cli.main`, which maps it — same as campaign/chaos/serve).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 __all__ = ["register"]
 
@@ -74,6 +85,115 @@ def register(sub, *, add_obs_flags, add_response_cache) -> None:
     add_response_cache(sweep)
     add_obs_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    chaos = verbs.add_parser(
+        "chaos",
+        help="policy x seed campaign under seeded facility faults "
+             "(board wear, pump loss, fouling, sensor faults), "
+             "optionally composed with process-level worker faults")
+    _add_scenario_flags(chaos)
+    _add_fault_flags(chaos)
+    chaos.add_argument("--policies", nargs="*", default=None,
+                       help="policies to compare (default: all)")
+    chaos.add_argument("--seeds", type=int, nargs="*", default=None,
+                       help="seeds per policy (default: the --seed "
+                            "value)")
+    chaos.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="evaluate scenarios over N worker processes")
+    chaos.add_argument("--chunk-size", type=int, default=None,
+                       metavar="N", help="scenarios per worker dispatch")
+    chaos.add_argument("--inject", nargs="*", default=None,
+                       metavar="KIND[:PROB[:MAX]]",
+                       help="process-level faults against the worker "
+                            "pool (worker_kill / worker_hang / "
+                            "slow_heartbeat), composing with the "
+                            "facility faults above")
+    chaos.add_argument("--ledger-out", default=None, metavar="PATH",
+                       help="write the incident ledger there "
+                            "(resilience failure-ledger JSON; "
+                            "integrity-checked after writing)")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="write the canonical campaign JSON there "
+                            "(completed scenarios only)")
+    add_response_cache(chaos)
+    add_obs_flags(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
+
+
+def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+    """The :class:`~repro.fleet.faults.FleetFaultPlan` surface.
+
+    Defaults describe a meaningful accelerated-wear campaign (a bare
+    ``repro fleet chaos`` injects faults); zero every rate explicitly
+    to reproduce the fault-free baseline byte-for-byte.
+    """
+    g = p.add_argument_group("faults")
+    g.add_argument("--aging", type=float, default=5.0,
+                   metavar="YEARS_PER_H",
+                   help="years of component wear per simulated hour "
+                        "(0 disables board retirement and chip death)")
+    g.add_argument("--coating", choices=("masked", "coated"),
+                   default="masked",
+                   help="which Section 2.2 reliability model draws "
+                        "board lifetimes")
+    g.add_argument("--chip-mttf", type=float, default=8.0,
+                   metavar="YEARS", help="mean chip lifetime before "
+                                         "aging acceleration (0 "
+                                         "disables chip death)")
+    g.add_argument("--pump-loss", type=float, default=0.2,
+                   metavar="PER_TANK_H",
+                   help="pump-loss rate per tank-hour")
+    g.add_argument("--fouling", type=float, default=0.0,
+                   metavar="PER_TANK_H",
+                   help="exchanger-fouling rate per tank-hour")
+    g.add_argument("--fouling-factor", type=float, default=0.25,
+                   help="capacity-rate multiplier while fouled")
+    g.add_argument("--sensor", type=float, default=0.2,
+                   metavar="PER_TANK_H",
+                   help="water-sensor fault rate per tank-hour")
+    g.add_argument("--sensor-offset", type=float, default=-8.0,
+                   metavar="C", help="reading error of an offset-"
+                                     "faulted sensor")
+    g.add_argument("--repair-board", type=float, default=12.0,
+                   metavar="H", help="mean board-swap time")
+    g.add_argument("--repair-chip", type=float, default=6.0,
+                   metavar="H", help="mean stack re-seat time")
+    g.add_argument("--repair-pump", type=float, default=2.0,
+                   metavar="H", help="mean pump repair time")
+    g.add_argument("--repair-sensor", type=float, default=1.0,
+                   metavar="H", help="mean sensor replacement time")
+    g.add_argument("--emergency-margin", type=float, default=3.0,
+                   metavar="C", help="extra DTM margin while a tank's "
+                                     "pump is down")
+    g.add_argument("--isolation-margin", type=float, default=5.0,
+                   metavar="C", help="degrees below the DTM threshold "
+                                     "at which a pump-lost tank is "
+                                     "isolated")
+    g.add_argument("--no-isolation", action="store_true",
+                   help="disable tank isolation on pump loss (the "
+                        "water then runs away — demonstration mode)")
+
+
+def _fault_plan_from_args(args: argparse.Namespace):
+    from .faults import FleetFaultPlan
+
+    return FleetFaultPlan(
+        aging_years_per_sim_hour=args.aging,
+        coating=args.coating,
+        chip_mttf_years=args.chip_mttf,
+        pump_loss_per_tank_hour=args.pump_loss,
+        fouling_per_tank_hour=args.fouling,
+        fouling_factor=args.fouling_factor,
+        sensor_fault_per_tank_hour=args.sensor,
+        sensor_offset_c=args.sensor_offset,
+        board_repair_hours=args.repair_board,
+        chip_repair_hours=args.repair_chip,
+        pump_repair_hours=args.repair_pump,
+        sensor_repair_hours=args.repair_sensor,
+        emergency_margin_c=args.emergency_margin,
+        isolation_margin_c=args.isolation_margin,
+        isolate_on_pump_loss=not args.no_isolation,
+    )
 
 
 def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
@@ -134,7 +254,7 @@ def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
 
 
 def _scenario_from_args(args: argparse.Namespace, *, policy: str,
-                        seed: int):
+                        seed: int, faults=None):
     from .model import FleetConfig, FleetScenario
     from .workload import WorkloadConfig
 
@@ -163,7 +283,7 @@ def _scenario_from_args(args: argparse.Namespace, *, policy: str,
                               max_jobs=args.max_jobs)
     return FleetScenario(fleet=fleet, workload=workload, policy=policy,
                          seed=seed, duration_s=args.hours * 3600.0,
-                         label=args.label)
+                         label=args.label, faults=faults)
 
 
 def _configure_cache(args: argparse.Namespace) -> None:
@@ -217,6 +337,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_poisoned(results):
+    """Partition a result list into (completed, poisoned markers)."""
+    from ..parallel import Poisoned
+
+    done = [r for r in results if not isinstance(r, Poisoned)]
+    poisoned = [r for r in results if isinstance(r, Poisoned)]
+    return done, poisoned
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .policies import POLICY_NAMES
     from .sim import results_json, run_scenarios
@@ -228,8 +357,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _scenario_from_args(args, policy=policy, seed=seed)
         for policy in policies for seed in seeds
     ]
-    results = run_scenarios(scenarios, workers=args.workers,
-                            chunk_size=args.chunk_size)
+    results, poisoned = _split_poisoned(
+        run_scenarios(scenarios, workers=args.workers,
+                      chunk_size=args.chunk_size))
 
     header = (f"{'policy':<14} {'seed':>5} {'Gc/s':>8} {'work/MJ':>9} "
               f"{'PUE':>7} {'max C':>6} {'stall':>7} {'pend':>6}")
@@ -240,8 +370,117 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{r.throughput_gcps:>8.2f} {r.work_per_mj:>9.1f} "
               f"{r.account.pue:>7.4f} {r.max_water_temp_c:>6.2f} "
               f"{r.stalled_board_steps:>7} {r.jobs_pending_end:>6}")
+    for p in poisoned:
+        print(f"QUARANTINED {p.key}: {p.reason} ({p.crashes} crashes)")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(results_json(results) + "\n")
         print(f"campaign JSON written to {args.out}")
-    return 0
+    return 0 if results else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """A fault campaign: facility faults in the simulation, optional
+    process faults against the pool, incident-ledger output.
+
+    Exit 0 when at least one scenario completed despite the chaos; 1
+    when nothing did. ``PoolClosedError`` propagates (exit 75 in
+    ``main``), matching campaign/chaos/serve conventions.
+    """
+    import json as _json
+
+    from ..core.campaign import LedgerEntry
+    from ..obs import get_registry
+    from ..resilience import (PROCESS_FAULT_KINDS, FaultSpec,
+                              ProcessFaultPlan)
+    from .faults import incident_ledger_entries
+    from .policies import POLICY_NAMES
+    from .sim import results_json, run_scenarios
+
+    _configure_cache(args)
+    plan = _fault_plan_from_args(args)
+    if plan.is_null:
+        plan = None
+    proc_plan = None
+    if args.inject:
+        specs = [FaultSpec.parse(s) for s in args.inject]
+        bad = [s.kind for s in specs if s.kind not in PROCESS_FAULT_KINDS]
+        if bad:
+            print(f"fleet chaos --inject accepts process fault kinds "
+                  f"{sorted(PROCESS_FAULT_KINDS)} only, got "
+                  f"{sorted(set(bad))}", file=sys.stderr)
+            return 2
+        proc_plan = ProcessFaultPlan(specs=tuple(specs), seed=args.seed)
+
+    policies = tuple(args.policies) if args.policies else POLICY_NAMES
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    scenarios = [
+        _scenario_from_args(args, policy=policy, seed=seed,
+                            faults=plan)
+        for policy in policies for seed in seeds
+    ]
+    n_faults = sum(1 for s in scenarios if s.faults is not None)
+    print(f"fleet chaos: {len(scenarios)} scenarios "
+          f"({len(policies)} policies x {len(seeds)} seeds), "
+          f"facility faults {'on' if n_faults else 'OFF (all rates 0)'}"
+          f", process faults "
+          f"{'on' if proc_plan is not None else 'off'}, "
+          f"workers {args.workers or 'serial'}", flush=True)
+    results, poisoned = _split_poisoned(
+        run_scenarios(scenarios, workers=args.workers,
+                      chunk_size=args.chunk_size,
+                      fault_plan=proc_plan))
+
+    header = (f"{'policy':<14} {'seed':>5} {'Gc/s':>8} {'avail':>7} "
+              f"{'MTTR h':>7} {'incid':>6} {'requeue':>8} "
+              f"{'peak C':>7} {'pend':>6}")
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        av = r.availability or {}
+        mttr = av.get("mttr_hours")
+        print(f"{r.scenario.policy:<14} {r.scenario.seed:>5} "
+              f"{r.throughput_gcps:>8.2f} "
+              f"{av.get('availability', 1.0):>7.4f} "
+              f"{(f'{mttr:.2f}' if mttr is not None else '-'):>7} "
+              f"{av.get('incidents_total', 0):>6} "
+              f"{av.get('jobs_requeued', 0):>8} "
+              f"{av.get('peak_board_temp_c', 0.0):>7.2f} "
+              f"{r.jobs_pending_end:>6}")
+    for p in poisoned:
+        print(f"QUARANTINED {p.key}: {p.reason} ({p.crashes} crashes)")
+    counters = get_registry().snapshot()["counters"]
+    print("supervision: "
+          f"restarts {counters.get('supervisor.restarts', 0)}, "
+          f"worker crashes {counters.get('supervisor.worker_crashes', 0)}, "
+          f"heartbeat misses {counters.get('supervisor.heartbeat_misses', 0)}, "
+          f"task retries {counters.get('supervisor.task_retries', 0)}")
+
+    entries = [e for r in results for e in incident_ledger_entries(r)]
+    residual = max((r.conservation_relative_residual for r in results),
+                   default=0.0)
+    print(f"incidents {sum(len(r.incidents) for r in results)}, "
+          f"jobs requeued "
+          f"{sum((r.availability or {}).get('jobs_requeued', 0) for r in results)}, "
+          f"worst energy-ledger residual {residual:.2e} rel")
+    if args.ledger_out:
+        with open(args.ledger_out, "w", encoding="utf-8") as fh:
+            _json.dump([e.to_dict() for e in entries], fh, indent=1)
+        # integrity check: every entry must round-trip through the
+        # resilience failure-ledger schema (same check `repro chaos`
+        # ledgers pass)
+        with open(args.ledger_out, encoding="utf-8") as fh:
+            reread = _json.load(fh)
+        parsed = [LedgerEntry.from_dict(d) for d in reread]
+        if [e.to_dict() for e in parsed] != reread:
+            print("ledger INTEGRITY FAILURE: round-trip mismatch",
+                  file=sys.stderr)
+            return 1
+        print(f"ledger: {args.ledger_out} (integrity ok, "
+              f"{len(parsed)} entries)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(results_json(results) + "\n")
+        print(f"campaign JSON written to {args.out}")
+    return 0 if results else 1
+

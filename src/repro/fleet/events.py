@@ -46,10 +46,19 @@ __all__ = [
 #: before the step boundary so a job arriving at exactly t is eligible
 #: for dispatch in the step that begins at t; ``stop`` ranks last so
 #: same-instant work is processed before the simulation closes.
+#: Repairs and faults sit between arrivals and the step: both are
+#: visible to the step that begins at the same instant, and ``repair``
+#: ranks before ``fault`` so a resource whose repair and (next) fault
+#: collide on the same microsecond ends that instant *failed* — the
+#: conservative reading, and the one the fault timeline's
+#: strictly-alternating schedule already guarantees can only arise
+#: between distinct resources.
 EVENT_KIND_RANK: dict[str, int] = {
     "arrival": 0,
-    "step": 1,
-    "stop": 2,
+    "repair": 1,
+    "fault": 2,
+    "step": 3,
+    "stop": 4,
 }
 
 

@@ -44,6 +44,7 @@ from ..thermal.coolants import WATER
 
 __all__ = ["FleetConfig", "FleetScenario"]
 
+from .faults import FleetFaultPlan
 from .policies import POLICY_NAMES
 from .workload import WorkloadConfig
 
@@ -256,6 +257,13 @@ class FleetScenario:
             :func:`~repro.parallel.derive_seed`).
         duration_s: simulated wall time.
         label: free-form tag carried into results and logs.
+        faults: optional seeded failure/repair campaign
+            (:class:`~repro.fleet.faults.FleetFaultPlan`). A plan with
+            all rates zero is normalized to ``None`` so a zero-rate
+            scenario is *the same scenario* as a fault-free one —
+            identical wire form, identical event log, identical result
+            bytes (the zero-rate-equals-baseline acceptance test holds
+            by construction).
     """
 
     #: wire/routing tag (matches the ``"kind"`` key of :meth:`to_dict`;
@@ -268,6 +276,7 @@ class FleetScenario:
     seed: int = 0
     duration_s: float = 3600.0
     label: str = ""
+    faults: FleetFaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_NAMES:
@@ -280,6 +289,8 @@ class FleetScenario:
         if self.duration_s < self.fleet.step_s:
             raise ConfigurationError(
                 "duration shorter than one simulation step")
+        if self.faults is not None and self.faults.is_null:
+            object.__setattr__(self, "faults", None)
 
     @property
     def n_steps(self) -> int:
@@ -288,7 +299,7 @@ class FleetScenario:
 
     def to_dict(self) -> dict:
         """JSON wire form, tagged for broker routing."""
-        return {
+        out = {
             "kind": "fleet",
             "fleet": self.fleet.to_dict(),
             "workload": self.workload.to_dict(),
@@ -297,6 +308,9 @@ class FleetScenario:
             "duration_s": self.duration_s,
             "label": self.label,
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FleetScenario":
@@ -310,11 +324,14 @@ class FleetScenario:
             raise ConfigurationError(
                 f'fleet scenario "kind" must be "fleet", got {kind!r}')
         known = {"kind", "fleet", "workload", "policy", "seed",
-                 "duration_s", "label"}
+                 "duration_s", "label", "faults"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(
                 f"unknown fleet scenario key(s): {', '.join(unknown)}")
+        faults = None
+        if data.get("faults") is not None:
+            faults = FleetFaultPlan.from_dict(data["faults"])
         return cls(
             fleet=FleetConfig.from_dict(data.get("fleet", {})),
             workload=WorkloadConfig.from_dict(
@@ -323,6 +340,7 @@ class FleetScenario:
             seed=int(data.get("seed", 0)),
             duration_s=float(data.get("duration_s", 3600.0)),
             label=str(data.get("label", "")),
+            faults=faults,
         )
 
     def with_policy(self, policy: str) -> "FleetScenario":

@@ -24,6 +24,21 @@ Placement interacts with the coolant loop (see
 neighbors' inlets*, so thermally blind policies pile work onto
 center tanks that coupling has already degraded — the effect the
 ``BENCH_fleet.json`` policy comparison quantifies.
+
+Degraded-mode scheduling (fault campaigns)
+------------------------------------------
+
+Under a :class:`~repro.fleet.faults.FleetFaultPlan` the simulator
+changes what the policy *sees*, never how it decides: retired boards
+and boards in isolated tanks are excluded from the view tuple
+entirely (they take no work until repaired), jobs they held re-enter
+the queue head for re-placement through the same ``select`` call, and
+``headroom_c`` is computed from the tank's *sensor* reading — so a
+stuck or offset sensor makes ``thermal-aware`` mis-rank tanks exactly
+the way a real telemetry fault would, while the simulator's on-die
+override (not visible to the policy) still keeps silicon under the
+DTM threshold. Policies therefore need no fault-specific code, and
+fault-free scenarios see byte-identical views.
 """
 
 from __future__ import annotations

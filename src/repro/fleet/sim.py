@@ -75,6 +75,7 @@ from ..parallel import ParallelConfig, run_chunked
 from ..power.processors import get_chip
 from ..thermal.hotspot import model_for
 from .events import Event, EventQueue, canonical_event_line
+from .faults import generate_fault_timeline
 from .model import FleetConfig, FleetScenario
 from .policies import BoardView, get_policy
 from .workload import FleetJob, generate_arrivals
@@ -204,6 +205,13 @@ class FleetResult:
     stalled_board_steps: int
     event_digest: str
     events: tuple[str, ...] | None = None
+    #: availability/goodput/MTTR accounting — None unless the scenario
+    #: carried a fault plan (keeps fault-free results byte-identical
+    #: to their pre-fault-layer form)
+    availability: dict[str, Any] | None = None
+    #: the incident ledger: one record per fault/isolation, with
+    #: open incidents carrying ``t_end_us: None``
+    incidents: tuple[dict[str, Any], ...] = ()
 
     @property
     def duration_s(self) -> float:
@@ -234,7 +242,7 @@ class FleetResult:
 
     def to_dict(self) -> dict[str, Any]:
         """Canonical JSON-ready form (event *digest*, not the log)."""
-        return {
+        out = {
             "scenario": self.scenario.to_dict(),
             "steps": self.steps,
             "duration_s": self.duration_s,
@@ -265,6 +273,10 @@ class FleetResult:
             },
             "event_digest": self.event_digest,
         }
+        if self.availability is not None:
+            out["availability"] = self.availability
+            out["incidents"] = [dict(inc) for inc in self.incidents]
+        return out
 
     def to_json(self) -> str:
         """Sorted, compact JSON — the byte-identity form."""
@@ -305,6 +317,25 @@ def simulate(scenario: FleetScenario, *,
         result.stalled_board_steps)
     gauge("fleet.water_temp_max_c").set(result.max_water_temp_c)
     histogram("fleet.sim_seconds").observe(wall_s)
+    if result.availability is not None:
+        av = result.availability
+        counter("fleet.incident.total").inc(av["incidents_total"])
+        counter("fleet.incident.repairs").inc(av["repairs"])
+        counter("fleet.incident.jobs_requeued").inc(av["jobs_requeued"])
+        counter("fleet.incident.dtm_overrides").inc(
+            av["dtm_override_steps"])
+        counter("fleet.incident.emergency_clamps").inc(
+            av["emergency_clamp_steps"])
+        counter("fleet.incident.isolations").inc(av["isolations"])
+        gauge("fleet.incident.availability").set(av["availability"])
+        if av["mttr_hours"] is not None:
+            histogram("fleet.incident.mttr_hours").observe(
+                av["mttr_hours"])
+        log_event("fleet_incidents", policy=scenario.policy,
+                  seed=scenario.seed,
+                  incidents=av["incidents_total"],
+                  availability=round(av["availability"], 6),
+                  jobs_requeued=av["jobs_requeued"])
     log_event("fleet_run", policy=scenario.policy, seed=scenario.seed,
               boards=cfg.n_boards, steps=result.steps,
               completed=result.jobs_completed,
@@ -345,11 +376,71 @@ def _simulate_inner(scenario: FleetScenario,
     heat_cap = cfg.tank_heat_capacity_j_k()
     coupling = cfg.coupling
 
+    # --- fault engine state (scenarios without a plan never touch it,
+    # and every faulted-only branch below is guarded so the fault-free
+    # arithmetic stays byte-for-byte the pre-fault-layer code path) ---
+    plan = scenario.faults
+    faulted = plan is not None
+    if faulted:
+        with span("fleet.faults.timeline", boards=n_boards,
+                  tanks=n_tanks):
+            timeline = generate_fault_timeline(plan, cfg, scenario.seed,
+                                               n_steps * dt)
+        for fe in timeline:
+            queue.push(Event(fe.time_us, fe.action, fe))
+        trip_water_c = (cfg.effective_threshold_c()
+                        - plan.isolation_margin_c)
+    board_down = [False] * n_boards
+    dead_in_tank = [0] * n_tanks
+    pump_ok = [True] * n_tanks
+    fouled = [False] * n_tanks
+    isolated = [False] * n_tanks
+    sensor_stuck: list[float | None] = [None] * n_tanks
+    sensor_delta = [0.0] * n_tanks
+    incidents: list[dict[str, Any]] = []
+    open_inc: dict[tuple[str, str, int], dict[str, Any]] = {}
+    down_board_steps = jobs_requeued = 0
+    dtm_override_steps = emergency_clamp_steps = isolations = 0
+    peak_board_temp = 0.0
+
     water = [supply] * n_tanks           # step-start tank temps
     peak_water = [supply] * n_tanks
     boards: list[list[_RunningJob]] = [[] for _ in range(n_boards)]
     active_boards: set[int] = set()      # boards with >= 1 job
     pending: deque[FleetJob] = deque()
+
+    def _requeue_board(b: int, t_us: int) -> int:
+        """Pull a failed/isolated board's jobs back to the queue head.
+
+        Remaining work is preserved and jobs re-enter ``pending`` in
+        job-id order ahead of waiting arrivals, so the next step's
+        policy pass re-places them — deterministically.
+        """
+        jobs_here = boards[b]
+        if not jobs_here:
+            return 0
+        for rj in sorted(jobs_here, key=lambda r: r.job_id,
+                         reverse=True):
+            pending.appendleft(FleetJob(job_id=rj.job_id, time_us=t_us,
+                                        work_gcycles=rj.remaining_gcycles))
+        n = len(jobs_here)
+        jobs_here.clear()
+        active_boards.discard(b)
+        return n
+
+    def _open_incident(kind: str, scope: str, index: int, t_us: int,
+                       requeued: int) -> None:
+        inc = {"id": len(incidents), "kind": kind, "scope": scope,
+               "index": index, "t_start_us": t_us, "t_end_us": None,
+               "jobs_requeued": requeued}
+        incidents.append(inc)
+        open_inc[(kind, scope, index)] = inc
+
+    def _close_incident(kind: str, scope: str, index: int,
+                        t_us: int) -> None:
+        inc = open_inc.pop((kind, scope, index), None)
+        if inc is not None:
+            inc["t_end_us"] = t_us
 
     digest = hashlib.sha256()
     kept: list[str] | None = [] if keep_events else None
@@ -379,19 +470,115 @@ def _simulate_inner(scenario: FleetScenario,
         if event.kind == "stop":
             break
         t_us = event.time_us
+        if event.kind == "fault":
+            fe = event.payload
+            n_req = 0
+            if fe.kind in ("board_retire", "chip_death"):
+                b = fe.index
+                n_req = _requeue_board(b, t_us)
+                if not board_down[b]:
+                    board_down[b] = True
+                    dead_in_tank[b // bpt] += 1
+            elif fe.kind == "pump_loss":
+                pump_ok[fe.index] = False
+            elif fe.kind == "fouling":
+                fouled[fe.index] = True
+            elif fe.kind == "sensor_stuck":
+                sensor_stuck[fe.index] = water[fe.index]
+            else:                        # sensor_offset
+                sensor_delta[fe.index] = plan.sensor_offset_c
+            jobs_requeued += n_req
+            _open_incident(fe.kind, fe.scope, fe.index, t_us, n_req)
+            emit({"t_us": t_us, "ev": "fault", "kind": fe.kind,
+                  "scope": fe.scope, "idx": fe.index,
+                  "requeued": n_req})
+            continue
+        if event.kind == "repair":
+            fe = event.payload
+            if fe.kind in ("board_retire", "chip_death"):
+                b = fe.index
+                if board_down[b]:
+                    board_down[b] = False
+                    dead_in_tank[b // bpt] -= 1
+            elif fe.kind == "pump_loss":
+                pump_ok[fe.index] = True
+            elif fe.kind == "fouling":
+                fouled[fe.index] = False
+            elif fe.kind == "sensor_stuck":
+                sensor_stuck[fe.index] = None
+            else:                        # sensor_offset
+                sensor_delta[fe.index] = 0.0
+            _close_incident(fe.kind, fe.scope, fe.index, t_us)
+            emit({"t_us": t_us, "ev": "repair", "kind": fe.kind,
+                  "scope": fe.scope, "idx": fe.index})
+            if fe.kind == "pump_loss" and isolated[fe.index]:
+                # circulation is back: reopen the tank to the loop
+                isolated[fe.index] = False
+                _close_incident("tank_isolated", "tank", fe.index, t_us)
+                emit({"t_us": t_us, "ev": "deisolate",
+                      "tank": fe.index})
+            continue
 
         # --- per-tank DTM response from step-start water temps -------
+        # Fault-free path: the routine clamp against the true water
+        # temperature. Faulted path: the DTM controller reads the tank
+        # *sensor* (which may be stuck or offset), pump-lost tanks get
+        # an emergency derate margin, and an on-die override clamps
+        # against the true temperature regardless — a lying sensor can
+        # waste performance, never violate the threshold.
         f_idx: list[int | None] = [None] * n_tanks
         headroom: list[float] = [0.0] * n_tanks
         for i in range(n_tanks):
-            f_idx[i] = ladder.step_for_water(water[i])
-            headroom[i] = ladder.stall_water_c - water[i]
+            if not faulted:
+                f_idx[i] = ladder.step_for_water(water[i])
+                headroom[i] = ladder.stall_water_c - water[i]
+                continue
+            if (plan.isolate_on_pump_loss and not pump_ok[i]
+                    and not isolated[i] and water[i] >= trip_water_c):
+                # runaway response: power the tank off and valve it
+                # out of the loop before the water reaches the cap
+                isolated[i] = True
+                isolations += 1
+                n_req = 0
+                for b in range(i * bpt, (i + 1) * bpt):
+                    n_req += _requeue_board(b, t_us)
+                jobs_requeued += n_req
+                _open_incident("tank_isolated", "tank", i, t_us, n_req)
+                emit({"t_us": t_us, "ev": "isolate", "tank": i,
+                      "requeued": n_req})
+            if isolated[i]:
+                f_idx[i] = None
+                headroom[i] = ladder.stall_water_c - water[i]
+                continue
+            if sensor_stuck[i] is not None:
+                reading = sensor_stuck[i]
+            elif sensor_delta[i] != 0.0:
+                reading = water[i] + sensor_delta[i]
+            else:
+                reading = water[i]
+            target = reading
+            if not pump_ok[i]:
+                target = reading + plan.emergency_margin_c
+                emergency_clamp_steps += 1
+            idx_s = ladder.step_for_water(target)
+            idx_t = ladder.step_for_water(water[i])
+            if idx_s is None or idx_t is None:
+                if idx_t is None and idx_s is not None:
+                    dtm_override_steps += 1
+                f_idx[i] = None
+            else:
+                if idx_t < idx_s:
+                    dtm_override_steps += 1
+                f_idx[i] = min(idx_s, idx_t)
+            headroom[i] = ladder.stall_water_c - reading
 
         # --- dispatch pending jobs through the policy -----------------
         if pending:
             views: list[BoardView] = []
             slot_of: dict[int, int] = {}
             for b in range(n_boards):
+                if faulted and (board_down[b] or isolated[b // bpt]):
+                    continue     # failed/powered-off boards take no work
                 running = len(boards[b])
                 if running < slots:
                     tank = b // bpt
@@ -454,30 +641,73 @@ def _simulate_inner(scenario: FleetScenario,
                 active_boards.discard(b)
 
         # --- tank energy balance (explicit Euler, step-start temps) ---
+        # Faults enter as plain coefficient changes on the same update:
+        # dead/powered-off boards stop drawing (heat_in shrinks), a
+        # lost pump or isolated tank zeroes the exchange capacity rate,
+        # fouling scales it, and an isolated tank drops out of its
+        # neighbors' coupling sums (the loop reroutes around it). Every
+        # term stays evaluated at step start, so the generated ==
+        # removed + stored ledger closes under every fault type.
         prev = water[:]
         for i in range(n_tanks):
             idx = f_idx[i]
+            if faulted:
+                up = 0 if isolated[i] else bpt - dead_in_tank[i]
+                down_board_steps += bpt - up
+            else:
+                up = bpt
             if idx is None:
                 active_w = 0.0
-                stalled_steps += bpt
+                stalled_steps += up
             else:
                 active_w = busy_per_tank[i] * ladder.per_job_power_w[idx]
                 if idx < top_step:
-                    throttled_steps += bpt
-            it_power = bpt * cfg.idle_power_w + active_w
+                    throttled_steps += up
+            it_power = up * cfg.idle_power_w + active_w
             heat_in = it_power * dt
             generated_j += heat_in
             excess = 0.0
-            if i > 0:
-                excess += max(0.0, prev[i - 1] - supply)
-            if i < n_tanks - 1:
-                excess += max(0.0, prev[i + 1] - supply)
+            if faulted:
+                j = i - 1
+                while j >= 0 and isolated[j]:
+                    j -= 1
+                if j >= 0:
+                    excess += max(0.0, prev[j] - supply)
+                j = i + 1
+                while j < n_tanks and isolated[j]:
+                    j += 1
+                if j < n_tanks:
+                    excess += max(0.0, prev[j] - supply)
+            else:
+                if i > 0:
+                    excess += max(0.0, prev[i - 1] - supply)
+                if i < n_tanks - 1:
+                    excess += max(0.0, prev[i + 1] - supply)
             inlet_eff = supply + coupling * excess
-            removed = cap_rate * (prev[i] - inlet_eff) * dt
+            if faulted:
+                if isolated[i] or not pump_ok[i]:
+                    cap_eff = 0.0
+                elif fouled[i]:
+                    cap_eff = cap_rate * plan.fouling_factor
+                else:
+                    cap_eff = cap_rate
+            else:
+                cap_eff = cap_rate
+            removed = cap_eff * (prev[i] - inlet_eff) * dt
             removed_j += removed
             water[i] = prev[i] + (heat_in - removed) / heat_cap
             if water[i] > peak_water[i]:
                 peak_water[i] = water[i]
+            if faulted and up > 0:
+                # worst-case die temperature this step (step-start
+                # water, the same basis as the DTM decision): active
+                # boards shift the ladder's reference hotspot by the
+                # ambient identity, stalled boards sit at water temp
+                die_t = (prev[i] if idx is None
+                         else ladder.ref_max_temp_c[idx]
+                         + (prev[i] - ladder.ref_ambient_c))
+                if die_t > peak_board_temp:
+                    peak_board_temp = die_t
 
     stored_j = sum(heat_cap * (water[i] - supply)
                    for i in range(n_tanks))
@@ -491,6 +721,35 @@ def _simulate_inner(scenario: FleetScenario,
     )
     completed_work = _completed_work(arrivals, boards, pending,
                                      completed)
+
+    availability: dict[str, Any] | None = None
+    if faulted:
+        closed = [inc for inc in incidents
+                  if inc["t_end_us"] is not None]
+        mttr_h = None
+        if closed:
+            mttr_h = (sum(inc["t_end_us"] - inc["t_start_us"]
+                          for inc in closed) / len(closed) / 3.6e9)
+        by_kind: dict[str, int] = {}
+        for inc in incidents:
+            by_kind[inc["kind"]] = by_kind.get(inc["kind"], 0) + 1
+        availability = {
+            "availability": 1.0 - down_board_steps
+            / (n_boards * n_steps),
+            "board_steps_down": down_board_steps,
+            "board_steps_total": n_boards * n_steps,
+            "goodput_gcps": completed_work / duration,
+            "mttr_hours": mttr_h,
+            "incidents_total": len(incidents),
+            "incidents_open": len(incidents) - len(closed),
+            "repairs": len(closed),
+            "by_kind": dict(sorted(by_kind.items())),
+            "jobs_requeued": jobs_requeued,
+            "dtm_override_steps": dtm_override_steps,
+            "emergency_clamp_steps": emergency_clamp_steps,
+            "isolations": isolations,
+            "peak_board_temp_c": peak_board_temp,
+        }
 
     return FleetResult(
         scenario=scenario,
@@ -513,6 +772,8 @@ def _simulate_inner(scenario: FleetScenario,
         stalled_board_steps=stalled_steps,
         event_digest=digest.hexdigest(),
         events=tuple(kept) if kept is not None else None,
+        availability=availability,
+        incidents=tuple(incidents) if faulted else (),
     )
 
 
@@ -541,19 +802,29 @@ def _scenario_task(payload: Any, scenario_dict: dict) -> FleetResult:
 
 def run_scenarios(scenarios: Sequence[FleetScenario], *,
                   workers: int | None = None,
-                  chunk_size: int | None = None) -> list[FleetResult]:
+                  chunk_size: int | None = None,
+                  fault_plan=None) -> list[FleetResult]:
     """Evaluate a scenario list, optionally on worker processes.
 
     Results come back in scenario order and are byte-identical at
     every worker count (``--workers {serial,2,4}`` — the campaign
     engine's standing guarantee plus a deterministic simulator).
+
+    ``fault_plan`` is a *process-level*
+    :class:`~repro.resilience.ProcessFaultPlan` (worker kill/hang
+    chaos against the pool itself), orthogonal to the *facility-level*
+    :class:`~repro.fleet.faults.FleetFaultPlan` carried inside each
+    scenario; ``repro fleet chaos`` composes both. Chunks quarantined
+    after repeated crashes come back as
+    :class:`~repro.parallel.Poisoned` markers in the result list.
     """
     items = [s.to_dict() for s in scenarios]
     config = ParallelConfig(workers=workers if workers else 1,
                             chunk_size=chunk_size or 1)
     with span("fleet.campaign", scenarios=len(items),
               workers=config.workers):
-        return run_chunked(items, _scenario_task, None, config=config)
+        return run_chunked(items, _scenario_task, None, config=config,
+                           fault_plan=fault_plan)
 
 
 def results_document(results: Sequence[FleetResult]) -> dict[str, Any]:

@@ -58,6 +58,20 @@ class WeibullLife:
         """Draw lifetimes (years)."""
         return self.scale_years * rng.weibull(self.shape, size=n)
 
+    def quantile(self, p: float) -> float:
+        """Inverse CDF: the age (years) by which failure probability
+        reaches ``p``.
+
+        Pure ``math`` arithmetic — unlike :meth:`sample`, this path has
+        no numpy ``Generator`` stream behind it, so callers that need
+        bit-stable draws across library versions (the fleet fault
+        engine) can feed it uniforms from ``random.Random``.
+        """
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(
+                f"quantile probability must be in [0, 1), got {p}")
+        return self.scale_years * (-math.log(1.0 - p)) ** (1.0 / self.shape)
+
 
 def _fit_scale(observed_failures: int, exposed: int,
                window_years: float, shape: float) -> float:
@@ -135,6 +149,26 @@ class BoardReliability:
             for name in self.submerged
         ])
         return draws.min(axis=0)
+
+    def lifetime_from_uniforms(self, uniforms) -> float:
+        """One board lifetime (years) from pre-drawn uniforms.
+
+        The stdlib-deterministic counterpart of :meth:`simulate`: each
+        submerged class maps its uniform through the Weibull inverse
+        CDF and the board fails at the series-system minimum. Exactly
+        ``len(self.submerged)`` uniforms must be supplied, consumed in
+        ``submerged`` order — this fixes the draw layout so seeded
+        fault timelines are reproducible byte-for-byte.
+        """
+        if len(uniforms) != len(self.submerged):
+            raise ConfigurationError(
+                f"expected {len(self.submerged)} uniforms (one per "
+                f"submerged class), got {len(uniforms)}")
+        if not self.submerged:
+            return math.inf
+        return min(
+            self.component_lives[name].quantile(u)
+            for name, u in zip(self.submerged, uniforms))
 
 
 def fully_coated_board() -> BoardReliability:

@@ -18,6 +18,15 @@ completed work. This package provides the three independent pieces:
 
 :class:`ResilienceOptions` bundles the three for the sweep / cosim
 entry points and the campaign runner (:mod:`repro.core.campaign`).
+
+Two sibling fault layers compose with this one: the *process-level*
+faults here (:data:`PROCESS_FAULT_KINDS`, worker kill/hang against the
+parallel pool) and the *facility-level* fault engine in
+:mod:`repro.fleet.faults` (board retirement, pump loss, fouling,
+sensor faults inside the fleet simulator). ``repro fleet chaos``
+drives both at once, and the fleet incident ledger reuses this
+package's failure-ledger schema
+(:class:`~repro.core.campaign.LedgerEntry`).
 """
 
 from __future__ import annotations

@@ -116,7 +116,13 @@ def run_fleet_resilient(scenario, options: ResilienceOptions | None = None
 
     The simulator is deterministic and has no lower-fidelity rung, so
     the ladder is single-rung: retries absorb transients (worker
-    crashes in process mode), degradation never applies.
+    crashes in process mode), degradation never applies — with one
+    provenance exception. A scenario carrying a fault plan whose run
+    recorded incidents ran at *degraded capacity* (boards retired,
+    tanks isolated): the outcome keeps ``rung == "full"`` (the model
+    fidelity was full) but reports ``degraded=True`` so clients see
+    the result came from a plant that wasn't whole. The result object
+    itself is still byte-identical to a direct ``simulate()``.
 
     Args:
         scenario: a :class:`~repro.fleet.model.FleetScenario`.
@@ -136,8 +142,12 @@ def run_fleet_resilient(scenario, options: ResilienceOptions | None = None
         outcome = ladder.run(retry_policy=opts.retry_policy,
                              sleep=opts.sleep,
                              allow_degraded=opts.allow_degraded)
-    return SpecOutcome(result=outcome.value, rung=outcome.rung,
-                       degraded=outcome.degraded,
+    result = outcome.value
+    degraded = outcome.degraded
+    if getattr(result, "incidents", ()):
+        degraded = True
+    return SpecOutcome(result=result, rung=outcome.rung,
+                       degraded=degraded,
                        attempts=outcome.attempts,
                        errors=outcome.errors)
 
